@@ -1,0 +1,47 @@
+// E1 — Theorem 13: the new (6,2)-form circuit matches Nesetril--Poljak
+// in value and arithmetic cost but needs O(N^2) instead of O(N^4)
+// space. Series: N, values agree, time of each evaluator, working-set
+// words (N^4 for NP's U/S/T/V matrices vs N^2 for the new circuit).
+#include <cstdio>
+#include <random>
+
+#include "bench_util.hpp"
+#include "count/form62.hpp"
+#include "field/primes.hpp"
+
+using namespace camelot;
+
+int main() {
+  benchutil::header("E1: (6,2)-linear form — new circuit vs Nesetril-Poljak");
+  PrimeField f(find_ntt_prime(1 << 20, 8));
+  TrilinearDecomposition dec = strassen_decomposition();
+  std::printf("%6s %12s %12s %12s %14s %14s %8s\n", "N", "direct", "NP",
+              "new", "NP space(w)", "new space(w)", "agree");
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    std::mt19937_64 rng(n);
+    Form62Input in;
+    for (Matrix& m : in.mats) {
+      m = Matrix(n, n);
+      for (u64& v : m.data()) v = rng() % 2;
+    }
+    const unsigned t = kronecker_exponent(2, n);
+    u64 v_direct = 0, v_np = 0, v_new = 0;
+    double t_direct = -1;
+    if (n <= 8) {
+      t_direct = benchutil::time_call([&] { v_direct = form62_direct(in, f); });
+    }
+    const double t_np =
+        benchutil::time_call([&] { v_np = form62_nesetril_poljak(in, f); });
+    const double t_new = benchutil::time_call(
+        [&] { v_new = form62_new_circuit(in, dec, t, f); });
+    const bool agree = (n > 8 || v_direct == v_np) && v_np == v_new;
+    std::printf("%6zu %12.4f %12.4f %12.4f %14llu %14llu %8s\n", n, t_direct,
+                t_np, t_new,
+                static_cast<unsigned long long>(4ull * n * n * n * n),
+                static_cast<unsigned long long>(15ull * n * n),
+                agree ? "yes" : "NO");
+  }
+  std::printf("(times in seconds; direct = -1 means skipped; space in "
+              "words of the dominant matrices)\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E14 (part): fast polynomial arithmetic scaling (paper §2.2).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <random>
+
+#include "field/primes.hpp"
+#include "poly/lagrange.hpp"
+#include "poly/multipoint.hpp"
+#include "poly/ntt.hpp"
+#include "poly/poly.hpp"
+
+namespace camelot {
+namespace {
+
+Poly random_poly(std::size_t deg, const PrimeField& f, u64 seed) {
+  std::mt19937_64 rng(seed);
+  Poly p;
+  p.c.resize(deg + 1);
+  for (u64& v : p.c) v = rng() % f.modulus();
+  return p;
+}
+
+void BM_MulSchoolbook(benchmark::State& state) {
+  PrimeField f(find_ntt_prime(1 << 20, 20));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Poly a = random_poly(n, f, 1), b = random_poly(n, f, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly_mul_schoolbook(a, b, f));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MulSchoolbook)->Range(64, 1024)->Complexity();
+
+void BM_MulKaratsuba(benchmark::State& state) {
+  PrimeField f(find_ntt_prime(1 << 20, 20));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Poly a = random_poly(n, f, 1), b = random_poly(n, f, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly_mul_karatsuba(a, b, f));
+  }
+}
+BENCHMARK(BM_MulKaratsuba)->Range(64, 4096);
+
+void BM_MulNtt(benchmark::State& state) {
+  PrimeField f(find_ntt_prime(1 << 20, 20));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Poly a = random_poly(n, f, 1), b = random_poly(n, f, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ntt_convolve(a.c, b.c, f));
+  }
+}
+BENCHMARK(BM_MulNtt)->Range(64, 16384);
+
+void BM_MultipointEvaluate(benchmark::State& state) {
+  PrimeField f(find_ntt_prime(1 << 20, 20));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Poly p = random_poly(n - 1, f, 3);
+  std::vector<u64> pts(n);
+  std::iota(pts.begin(), pts.end(), u64{1});
+  SubproductTree tree(pts, f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.evaluate(p, f));
+  }
+}
+BENCHMARK(BM_MultipointEvaluate)->Range(64, 4096);
+
+void BM_Interpolate(benchmark::State& state) {
+  PrimeField f(find_ntt_prime(1 << 20, 20));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(4);
+  std::vector<u64> pts(n), vals(n);
+  std::iota(pts.begin(), pts.end(), u64{1});
+  for (u64& v : vals) v = rng() % f.modulus();
+  SubproductTree tree(pts, f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.interpolate(vals, f));
+  }
+}
+BENCHMARK(BM_Interpolate)->Range(64, 4096);
+
+void BM_LagrangeBasisConsecutive(benchmark::State& state) {
+  // The factorial trick of §5.3: all R basis values in O(R).
+  PrimeField f(find_ntt_prime(1 << 20, 20));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lagrange_basis_consecutive(1, n, 999'983, f));
+  }
+}
+BENCHMARK(BM_LagrangeBasisConsecutive)->Range(256, 65536);
+
+}  // namespace
+}  // namespace camelot
+
+BENCHMARK_MAIN();

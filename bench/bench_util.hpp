@@ -1,0 +1,33 @@
+// Shared helpers for the experiment benches (timing + table output).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+
+namespace camelot::benchutil {
+
+class Timer {
+ public:
+  Timer() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+template <typename Fn>
+double time_call(Fn&& fn) {
+  Timer t;
+  fn();
+  return t.seconds();
+}
+
+inline void header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace camelot::benchutil

@@ -1,0 +1,80 @@
+// E15 (part): Yates variants — dense vs split/sparse vs polynomial
+// extension, over the Strassen-transpose base used by the triangle
+// algorithms.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "field/primes.hpp"
+#include "linalg/tensor.hpp"
+#include "yates/poly_ext.hpp"
+#include "yates/split_sparse.hpp"
+#include "yates/yates.hpp"
+
+namespace camelot {
+namespace {
+
+std::vector<u64> strassen_alpha_transposed(const PrimeField& f) {
+  TrilinearDecomposition dec = strassen_decomposition();
+  const std::vector<u64> a = dec.alpha_mod(f);
+  std::vector<u64> out(7 * 4);
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (std::size_t r = 0; r < 7; ++r) out[r * 4 + p] = a[p * 7 + r];
+  }
+  return out;
+}
+
+std::vector<SparseEntry> sparse_input(unsigned k, std::size_t count,
+                                      u64 seed, const PrimeField& f) {
+  std::mt19937_64 rng(seed);
+  std::vector<SparseEntry> d;
+  const u64 domain = ipow(4, k);
+  while (d.size() < count) {
+    d.push_back({rng() % domain, 1 + rng() % (f.modulus() - 1)});
+  }
+  return d;
+}
+
+void BM_YatesDense(benchmark::State& state) {
+  PrimeField f(find_ntt_prime(1 << 20, 8));
+  const auto k = static_cast<unsigned>(state.range(0));
+  auto base = strassen_alpha_transposed(f);
+  std::mt19937_64 rng(1);
+  std::vector<u64> x(ipow(4, k));
+  for (u64& v : x) v = rng() % f.modulus();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(yates_apply(f, base, 7, 4, x, k));
+  }
+}
+BENCHMARK(BM_YatesDense)->DenseRange(3, 7);
+
+void BM_SplitSparseOnePart(benchmark::State& state) {
+  // One part = one node's work unit (Theorem 4's O(m) per node).
+  PrimeField f(find_ntt_prime(1 << 20, 8));
+  const auto k = static_cast<unsigned>(state.range(0));
+  SplitSparseYates ss(f, strassen_alpha_transposed(f), 7, 4, k,
+                      sparse_input(k, 64, 2, f));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ss.part(0));
+  }
+}
+BENCHMARK(BM_SplitSparseOnePart)->DenseRange(4, 8);
+
+void BM_PolyExtEvaluate(benchmark::State& state) {
+  // One proof-polynomial evaluation of the §3.3 extension.
+  PrimeField f(find_ntt_prime(1 << 20, 8));
+  const auto k = static_cast<unsigned>(state.range(0));
+  YatesPolynomialExtension pe(f, strassen_alpha_transposed(f), 7, 4, k,
+                              sparse_input(k, 64, 3, f));
+  u64 z0 = 123'457;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.evaluate(z0));
+    ++z0;
+  }
+}
+BENCHMARK(BM_PolyExtEvaluate)->DenseRange(4, 8);
+
+}  // namespace
+}  // namespace camelot
+
+BENCHMARK_MAIN();

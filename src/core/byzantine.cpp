@@ -1,0 +1,55 @@
+#include "core/byzantine.hpp"
+
+#include <algorithm>
+
+namespace camelot {
+
+ByzantineAdversary::ByzantineAdversary(std::vector<std::size_t> corrupt_nodes,
+                                       ByzantineStrategy strategy, u64 seed)
+    : corrupt_nodes_(std::move(corrupt_nodes)),
+      strategy_(strategy),
+      seed_(seed) {
+  std::sort(corrupt_nodes_.begin(), corrupt_nodes_.end());
+  corrupt_nodes_.erase(
+      std::unique(corrupt_nodes_.begin(), corrupt_nodes_.end()),
+      corrupt_nodes_.end());
+}
+
+bool ByzantineAdversary::controls(std::size_t node) const {
+  return std::binary_search(corrupt_nodes_.begin(), corrupt_nodes_.end(),
+                            node);
+}
+
+void ByzantineAdversary::corrupt(std::span<u64> codeword,
+                                 std::span<const std::size_t> owners,
+                                 std::span<const u64> points,
+                                 const PrimeField& f) const {
+  std::mt19937_64 rng(seed_);
+  // Colluding adversary: fixed wrong polynomial of degree 2 shared by
+  // all corrupt nodes (coefficients derived from the seed only, so the
+  // corruption is consistent across nodes as a real collusion is).
+  const u64 c0 = 1 + rng() % (f.modulus() - 1);
+  const u64 c1 = rng() % f.modulus();
+  const u64 c2 = rng() % f.modulus();
+  for (std::size_t i = 0; i < codeword.size(); ++i) {
+    if (!controls(owners[i])) continue;
+    switch (strategy_) {
+      case ByzantineStrategy::kSilent:
+        codeword[i] = 0;
+        break;
+      case ByzantineStrategy::kRandom:
+        codeword[i] = rng() % f.modulus();
+        break;
+      case ByzantineStrategy::kOffByOne:
+        codeword[i] = f.add(codeword[i], 1);
+        break;
+      case ByzantineStrategy::kColludingPolynomial: {
+        const u64 x = points[i];
+        codeword[i] = f.add(c0, f.mul(x, f.add(c1, f.mul(x, c2))));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace camelot

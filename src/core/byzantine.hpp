@@ -1,0 +1,57 @@
+// Byzantine adversary models (paper §1.2: "robust against adversarial
+// byzantine failures at the nodes", Morgana's "cunning dark magic").
+//
+// A corrupt node may deviate arbitrarily; we model the standard
+// behaviours seen in fault-injection studies. Corruption acts on the
+// symbols a node broadcasts — the framework's only trust boundary.
+#pragma once
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace camelot {
+
+enum class ByzantineStrategy {
+  // Node broadcasts nothing; receivers substitute 0 for its symbols.
+  kSilent,
+  // Node broadcasts uniformly random field elements.
+  kRandom,
+  // Node broadcasts values off by one — the subtlest corruption a
+  // magnitude-based sanity check would miss.
+  kOffByOne,
+  // All corrupt nodes broadcast evaluations of a *common wrong*
+  // low-degree polynomial: a colluding adversary trying to drag the
+  // decoder toward a different codeword.
+  kColludingPolynomial,
+};
+
+// Deterministic adversary controlling a fixed set of nodes.
+class ByzantineAdversary {
+ public:
+  ByzantineAdversary(std::vector<std::size_t> corrupt_nodes,
+                     ByzantineStrategy strategy, u64 seed);
+
+  const std::vector<std::size_t>& corrupt_nodes() const noexcept {
+    return corrupt_nodes_;
+  }
+  ByzantineStrategy strategy() const noexcept { return strategy_; }
+
+  // Applies the corruption in place. codeword[i] was produced by node
+  // owners[i]; points[i] is its evaluation point (needed by the
+  // colluding strategy).
+  void corrupt(std::span<u64> codeword, std::span<const std::size_t> owners,
+               std::span<const u64> points, const PrimeField& f) const;
+
+  // True if `node` is controlled by the adversary.
+  bool controls(std::size_t node) const;
+
+ private:
+  std::vector<std::size_t> corrupt_nodes_;
+  ByzantineStrategy strategy_;
+  u64 seed_;
+};
+
+}  // namespace camelot

@@ -1,0 +1,51 @@
+#include "core/prime_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "field/primes.hpp"
+
+namespace camelot {
+
+PrimePlan plan_primes(const ProofSpec& spec, double redundancy,
+                      std::size_t num_primes) {
+  if (redundancy < 1.0) {
+    throw std::invalid_argument("plan_primes: redundancy must be >= 1");
+  }
+  PrimePlan plan;
+  const u64 d = spec.degree_bound;
+  const auto dim = static_cast<double>(d + 1);
+  plan.code_length = std::max<std::size_t>(
+      d + 1, static_cast<std::size_t>(std::ceil(redundancy * dim)));
+  plan.decoding_radius = (plan.code_length - d - 1) / 2;
+
+  // Transform length needed by encode/decode: convolutions of size up
+  // to ~2e during interpolation and the remainder sequence.
+  int two_adicity = 1;
+  while ((std::size_t{1} << two_adicity) < 2 * (plan.code_length + 1)) {
+    ++two_adicity;
+  }
+  ++two_adicity;  // slack for product-tree internals
+
+  u64 min_q = std::max<u64>(spec.min_modulus, plan.code_length + 1);
+
+  // Add primes until the CRT modulus covers 2*answer_bound (signed
+  // reconstruction needs the factor 2; harmless for unsigned).
+  const BigInt target = spec.answer_bound.mul_u64(2) + BigInt(1);
+  BigInt prod = BigInt::from_u64(1);
+  u64 lo = min_q;
+  while (true) {
+    const bool enough_primes =
+        num_primes != 0 ? plan.primes.size() >= num_primes
+                        : (!plan.primes.empty() && prod > target);
+    if (enough_primes) break;
+    u64 q = find_ntt_prime(lo, two_adicity);
+    plan.primes.push_back(q);
+    prod = prod.mul_u64(q);
+    lo = q + 1;
+  }
+  return plan;
+}
+
+}  // namespace camelot

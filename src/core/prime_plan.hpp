@@ -1,0 +1,35 @@
+// Selection of proof moduli and code parameters.
+//
+// The framework picks NTT-friendly primes q = c*2^a + 1 satisfying
+// every constraint at once:
+//   * q >= spec.min_modulus (problem-specific, e.g. 3R+1 in §5.2);
+//   * q > e so the evaluation points 1..e are distinct in Z_q;
+//   * 2^a large enough for fast interpolation/decoding transforms;
+//   * prod(q_i) > 2 * answer_bound so CRT reconstruction is exact
+//     (paper footnote 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/proof_problem.hpp"
+
+namespace camelot {
+
+struct PrimePlan {
+  // Code length e (number of evaluation points 1..e).
+  std::size_t code_length = 0;
+  // Chosen CRT moduli, ascending.
+  std::vector<u64> primes;
+  // Unique-decoding radius floor((e-d-1)/2) in symbols.
+  std::size_t decoding_radius = 0;
+};
+
+// Computes the plan. `redundancy` >= 1 scales the code length:
+// e = max(d+1, ceil(redundancy*(d+1))); the slack buys byzantine
+// fault tolerance. If num_primes == 0 the count is derived from
+// spec.answer_bound; otherwise it is forced (for experiments).
+PrimePlan plan_primes(const ProofSpec& spec, double redundancy,
+                      std::size_t num_primes = 0);
+
+}  // namespace camelot

@@ -1,0 +1,31 @@
+#include "core/verifier.hpp"
+
+namespace camelot {
+
+VerifyResult verify_proof_with(Evaluator& evaluator, const Poly& proof,
+                               std::size_t trials, u64 seed) {
+  VerifyResult out;
+  out.trials = trials;
+  const PrimeField& f = evaluator.field();
+  std::mt19937_64 rng(seed);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const u64 x0 = rng() % f.modulus();
+    const u64 lhs = evaluator.eval(x0);
+    const u64 rhs = poly_eval(proof, x0, f);
+    if (lhs != rhs) {
+      out.accepted = false;
+      out.failed_trial = t;
+      return out;
+    }
+  }
+  out.accepted = true;
+  return out;
+}
+
+VerifyResult verify_proof(const CamelotProblem& problem, const Poly& proof,
+                          const PrimeField& f, std::size_t trials, u64 seed) {
+  auto evaluator = problem.make_evaluator(f);
+  return verify_proof_with(*evaluator, proof, trials, seed);
+}
+
+}  // namespace camelot

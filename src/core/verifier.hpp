@@ -1,0 +1,36 @@
+// Independent proof verification (paper §1.3, step 3).
+//
+// Any entity with the common input and a putative proof
+// (p~_0,...,p~_d) picks a uniform random x0 in Z_q and accepts iff
+//   P(x0) = sum_j p~_j x0^j  (mod q),
+// evaluating the left side with the *same algorithm the nodes use*
+// and the right side by Horner's rule. A wrong proof survives one
+// trial with probability at most d/q (fundamental theorem of algebra);
+// trials are independent, so the soundness error is (d/q)^trials.
+#pragma once
+
+#include <random>
+
+#include "core/proof_problem.hpp"
+
+namespace camelot {
+
+struct VerifyResult {
+  bool accepted = false;
+  std::size_t trials = 0;
+  // Trial index that exposed the proof (meaningful iff !accepted).
+  std::size_t failed_trial = 0;
+};
+
+// Verifies `proof` against the problem over field f. Performs at most
+// `trials` independent random-point checks, stopping at the first
+// mismatch. Cost: `trials` evaluations of P plus Horner evaluations.
+VerifyResult verify_proof(const CamelotProblem& problem, const Poly& proof,
+                          const PrimeField& f, std::size_t trials, u64 seed);
+
+// Same, but reuses an existing evaluator (saves per-node setup when
+// the caller already built one).
+VerifyResult verify_proof_with(Evaluator& evaluator, const Poly& proof,
+                               std::size_t trials, u64 seed);
+
+}  // namespace camelot

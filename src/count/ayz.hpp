@@ -1,0 +1,29 @@
+// Alon--Yuster--Zwick triangle counting on sparse graphs (paper §6.4,
+// Theorem 5): split vertices at degree Delta = m^{(omega-1)/(omega+1)},
+// count the all-high triangles with the dense (split/sparse rank
+// expansion) algorithm on the <= 2m/Delta high-degree vertices, and
+// the rest by scanning the <= Delta labelled edge-ends per low
+// vertex. Total time O(m^{2 omega/(omega+1)}); per-node ~O(m) on
+// O(Delta + (m/Delta)^{omega}/m) nodes.
+#pragma once
+
+#include "count/triangle.hpp"
+
+namespace camelot {
+
+struct AyzStats {
+  double delta = 0.0;              // degree threshold
+  std::size_t high_vertices = 0;   // |{v : deg v > Delta}|
+  std::size_t high_edges = 0;      // edges inside the high subgraph
+  u64 dense_parts = 0;             // parallel units in the dense phase
+  u64 low_labels = 0;              // parallel units in the low phase
+  u64 high_triangles = 0;
+  u64 low_triangles = 0;           // triangles with >= 1 low vertex
+};
+
+// #triangles. `dec` drives the dense phase (omega = log2 rank / log2
+// n0 determines Delta). Exact for any graph with < 2^60 triangles.
+u64 count_triangles_ayz(const Graph& g, const TrilinearDecomposition& dec,
+                        AyzStats* stats = nullptr);
+
+}  // namespace camelot

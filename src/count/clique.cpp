@@ -1,0 +1,133 @@
+#include "count/clique.hpp"
+
+#include <stdexcept>
+
+#include "field/crt.hpp"
+#include "field/primes.hpp"
+
+namespace camelot {
+
+std::vector<u64> subsets_of_size(std::size_t n, std::size_t size) {
+  if (n > 63) throw std::invalid_argument("subsets_of_size: n > 63");
+  std::vector<u64> out;
+  if (size > n) return out;
+  if (size == 0) {
+    out.push_back(0);
+    return out;
+  }
+  // Gosper's hack enumerates same-popcount masks in increasing order.
+  u64 mask = (u64{1} << size) - 1;
+  const u64 limit = u64{1} << n;
+  while (mask < limit) {
+    out.push_back(mask);
+    const u64 c = mask & -mask;
+    const u64 r = mask + c;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+  return out;
+}
+
+Matrix clique_chi_matrix(const Graph& g, std::size_t k) {
+  if (k == 0 || k % 6 != 0) {
+    throw std::invalid_argument("clique_chi_matrix: k must be divisible by 6");
+  }
+  const std::size_t block = k / 6;
+  const std::vector<u64> subsets = subsets_of_size(g.num_vertices(), block);
+  const std::size_t n_sub = subsets.size();
+  Matrix chi(n_sub, n_sub);
+  // chi_AB needs A u B to be a clique, so both halves must be cliques.
+  std::vector<char> block_clique(n_sub);
+  for (std::size_t i = 0; i < n_sub; ++i) {
+    block_clique[i] = g.is_clique(subsets[i]) ? 1 : 0;
+  }
+  for (std::size_t i = 0; i < n_sub; ++i) {
+    if (!block_clique[i]) continue;
+    for (std::size_t j = 0; j < n_sub; ++j) {
+      if (i == j || !block_clique[j]) continue;
+      if (subsets[i] & subsets[j]) continue;  // must be disjoint
+      if (g.is_clique(subsets[i] | subsets[j])) chi.at(i, j) = 1;
+    }
+  }
+  return chi;
+}
+
+BigInt clique_multiplicity(std::size_t k) {
+  if (k == 0 || k % 6 != 0) {
+    throw std::invalid_argument("clique_multiplicity: k not divisible by 6");
+  }
+  BigInt numer(1);
+  for (std::size_t i = 2; i <= k; ++i) numer = numer.mul_u64(i);
+  // Exact division by ((k/6)!)^6 one small factor at a time.
+  for (std::size_t i = 2; i <= k / 6; ++i) {
+    for (int rep = 0; rep < 6; ++rep) {
+      u64 rem = 0;
+      numer = numer.divmod_u64(i, &rem);
+      if (rem != 0) throw std::logic_error("clique_multiplicity: not exact");
+    }
+  }
+  return numer;
+}
+
+BigInt divide_exact_smooth(BigInt value, BigInt divisor) {
+  for (u64 p = 2; !(divisor == BigInt(1)); ++p) {
+    if (p > 1'000'000) {
+      throw std::logic_error("divide_exact: divisor has a large factor");
+    }
+    while (true) {
+      u64 rem = 0;
+      BigInt q = divisor.divmod_u64(p, &rem);
+      if (rem != 0) break;
+      divisor = q;
+      u64 rem2 = 0;
+      value = value.divmod_u64(p, &rem2);
+      if (rem2 != 0) throw std::logic_error("divide_exact: not divisible");
+    }
+  }
+  return value;
+}
+
+namespace {
+
+// Evaluates X(6,2) modulo enough primes and reconstructs the integer.
+template <typename EvalFn>
+BigInt x62_over_integers(std::size_t n_pad, EvalFn&& eval_mod) {
+  // X <= N^6 for a {0,1} matrix.
+  const BigInt bound = BigInt::from_u64(n_pad).pow_u32(6);
+  const std::size_t count = crt_primes_needed(bound, 30);
+  const std::vector<u64> primes =
+      find_ntt_primes(u64{1} << 30, 4, std::max<std::size_t>(count, 1));
+  std::vector<u64> residues;
+  residues.reserve(primes.size());
+  for (u64 q : primes) {
+    PrimeField f(q);
+    residues.push_back(eval_mod(f));
+  }
+  return crt_reconstruct(residues, primes);
+}
+
+}  // namespace
+
+BigInt count_k_cliques_form62(const Graph& g, std::size_t k,
+                              const TrilinearDecomposition& dec) {
+  Matrix chi = clique_chi_matrix(g, k);
+  if (chi.rows() == 0) return BigInt(0);
+  const unsigned t = kronecker_exponent(dec.n0, chi.rows());
+  const std::size_t n_pad = ipow(dec.n0, t);
+  Form62Input input = form62_padded(Form62Input::uniform(chi), n_pad);
+  BigInt x = x62_over_integers(n_pad, [&](const PrimeField& f) {
+    return form62_new_circuit(input, dec, t, f);
+  });
+  return divide_exact_smooth(x, clique_multiplicity(k));
+}
+
+BigInt count_k_cliques_nesetril_poljak(const Graph& g, std::size_t k) {
+  Matrix chi = clique_chi_matrix(g, k);
+  if (chi.rows() == 0) return BigInt(0);
+  Form62Input input = Form62Input::uniform(chi);
+  BigInt x = x62_over_integers(chi.rows(), [&](const PrimeField& f) {
+    return form62_nesetril_poljak(input, f);
+  });
+  return divide_exact_smooth(x, clique_multiplicity(k));
+}
+
+}  // namespace camelot

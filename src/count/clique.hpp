@@ -1,0 +1,40 @@
+// k-clique counting via the (6,2)-linear form (paper §5.1, Theorem 2).
+//
+// For 6 | k, build the N x N matrix chi with N = C(n, k/6) indexed by
+// the k/6-subsets of V(G):
+//   chi_AB = [ A u B is a clique and A n B = {} ].
+// Then X(6,2) counts each k-clique exactly k!/((k/6)!)^6 times.
+#pragma once
+
+#include "count/form62.hpp"
+#include "field/bigint.hpp"
+#include "graph/graph.hpp"
+
+namespace camelot {
+
+// All k/6-subset masks of [n] in lexicographic order of mask value.
+std::vector<u64> subsets_of_size(std::size_t n, std::size_t size);
+
+// The clique indicator matrix chi (N x N, entries {0,1}).
+Matrix clique_chi_matrix(const Graph& g, std::size_t k);
+
+// Multinomial k! / ((k/6)!)^6 — how many ordered 6-tuples of disjoint
+// k/6-blocks each k-clique contributes to X(6,2).
+BigInt clique_multiplicity(std::size_t k);
+
+// Theorem 2, sequential form: count k-cliques by evaluating X(6,2)
+// with the new circuit modulo enough CRT primes. `dec` supplies the
+// matrix-multiplication tensor (Strassen by default -> omega = lg 7).
+BigInt count_k_cliques_form62(const Graph& g, std::size_t k,
+                              const TrilinearDecomposition& dec);
+
+// Same count via the Nesetril--Poljak evaluation (the baseline the
+// paper improves on in space; used for differential testing and the
+// E1/E2 benches).
+BigInt count_k_cliques_nesetril_poljak(const Graph& g, std::size_t k);
+
+// Exact division of `value` by a divisor all of whose prime factors
+// are small (multinomial coefficients); throws if not exact.
+BigInt divide_exact_smooth(BigInt value, BigInt divisor);
+
+}  // namespace camelot

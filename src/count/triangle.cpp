@@ -1,0 +1,109 @@
+#include "count/triangle.hpp"
+
+#include <stdexcept>
+
+#include "field/primes.hpp"
+#include "linalg/matmul.hpp"
+
+namespace camelot {
+
+std::vector<SparseEntry> adjacency_sparse_interleaved(const Graph& g,
+                                                      std::size_t n0,
+                                                      unsigned t) {
+  std::vector<SparseEntry> entries;
+  entries.reserve(2 * g.num_edges());
+  for (auto [u, v] : g.edges()) {
+    entries.push_back({interleave_pair_index(u, v, n0, t), 1});
+    entries.push_back({interleave_pair_index(v, u, n0, t), 1});
+  }
+  return entries;
+}
+
+u64 triangle_trace_matmul(const Graph& g, const PrimeField& f) {
+  const std::size_t n = g.num_vertices();
+  Matrix a(n, n);
+  for (auto [u, v] : g.edges()) {
+    a.at(u, v) = 1;
+    a.at(v, u) = 1;
+  }
+  Matrix a2 = matmul(a, a, f);
+  // trace(A^3) = <A^2, A^T> = <A^2, A> for symmetric A.
+  return matrix_dot(a2, a, f);
+}
+
+u64 count_triangles_itai_rodeh(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  // trace(A^3) = 6 * #triangles <= n^3.
+  const u64 bound = static_cast<u64>(n) * n * n + 7;
+  PrimeField f(next_prime(bound));
+  return triangle_trace_matmul(g, f) / 6;
+}
+
+u64 count_triangles_split_sparse(const Graph& g,
+                                 const TrilinearDecomposition& dec,
+                                 const PrimeField& f,
+                                 SplitSparseStats* stats, int ell_override) {
+  const std::size_t n = g.num_vertices();
+  if (g.num_edges() == 0) {
+    if (stats != nullptr) *stats = SplitSparseStats{};
+    return 0;
+  }
+  const unsigned t = kronecker_exponent(dec.n0, std::max<std::size_t>(n, 2));
+  const std::size_t nn = dec.n0 * dec.n0;
+  std::vector<SparseEntry> entries = adjacency_sparse_interleaved(g, dec.n0, t);
+
+  // Transposed coefficient tables: R0 x n0^2 bases mapping
+  // (i,j)-indexed vectors to r-indexed vectors. R0 >= n0^2 holds for
+  // every decomposition of <n0,n0,n0> (rank >= n0^2), so t >= s.
+  auto transpose_table = [&](const std::vector<u64>& tab) {
+    std::vector<u64> out(dec.rank * nn);
+    for (std::size_t p = 0; p < nn; ++p) {
+      for (std::size_t r = 0; r < dec.rank; ++r) {
+        out[r * nn + p] = tab[p * dec.rank + r];
+      }
+    }
+    return out;
+  };
+  const std::vector<u64> alpha_t = transpose_table(dec.alpha_mod(f));
+  const std::vector<u64> beta_t = transpose_table(dec.beta_mod(f));
+  const std::vector<u64> gamma_t = transpose_table(dec.gamma_mod(f));
+
+  SplitSparseYates ss_a(f, alpha_t, dec.rank, nn, t, entries, ell_override);
+  SplitSparseYates ss_b(f, beta_t, dec.rank, nn, t, entries, ell_override);
+  SplitSparseYates ss_c(f, gamma_t, dec.rank, nn, t, entries, ell_override);
+
+  if (stats != nullptr) {
+    stats->t = t;
+    stats->rank = ipow(dec.rank, t);
+    stats->num_parts = ss_a.num_parts();
+    stats->part_size = ss_a.part_size();
+    stats->sparse_entries = entries.size();
+  }
+
+  // trace(ABC) = sum_r A_r B_r C_r, accumulated part by part. Each
+  // outer iteration is an independent unit of parallel work
+  // (Theorem 4: per-node time and space ~O(m)).
+  u64 trace = 0;
+  for (u64 outer = 0; outer < ss_a.num_parts(); ++outer) {
+    const std::vector<u64> pa = ss_a.part(outer);
+    const std::vector<u64> pb = ss_b.part(outer);
+    const std::vector<u64> pc = ss_c.part(outer);
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      trace = f.add(trace, f.mul(pa[i], f.mul(pb[i], pc[i])));
+    }
+  }
+  // 6 is invertible for q > 3.
+  return f.mul(trace, f.inv(f.reduce(6)));
+}
+
+u64 count_triangles_split_sparse(const Graph& g,
+                                 const TrilinearDecomposition& dec,
+                                 SplitSparseStats* stats) {
+  const std::size_t n = g.num_vertices();
+  const u64 bound = static_cast<u64>(n) * n * n + 7;
+  // NTT-friendliness is irrelevant here; any prime > n^3 works.
+  PrimeField f(next_prime(bound));
+  return count_triangles_split_sparse(g, dec, f, stats, -1);
+}
+
+}  // namespace camelot

@@ -1,0 +1,51 @@
+// Triangle counting (paper §6, Theorems 3-5).
+//
+// Itai--Rodeh reduce triangle counting to the trace of A^3 (§6.1):
+// trace(ABC) = sum_{i,j,k} a_ij b_jk c_ki = 6 * (#triangles) for
+// A = B = C the adjacency matrix. The split/sparse Yates machinery
+// splits the rank expansion (19),
+//   trace(ABC) = sum_{r=1}^{R} A_r B_r C_r,
+// into O(R/m) independent parts of O(m) work each (Theorem 4).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "linalg/tensor.hpp"
+#include "yates/split_sparse.hpp"
+
+namespace camelot {
+
+// Interleaved sparse representation of the adjacency matrix, padded to
+// n0^t: entries (interleave_pair_index(i,j), 1) for every arc (i,j).
+std::vector<SparseEntry> adjacency_sparse_interleaved(
+    const Graph& g, std::size_t n0, unsigned t);
+
+// trace(A^3) mod q by two dense matrix products (Itai--Rodeh with the
+// matmul backend). Exact as long as q > 6 * #triangles.
+u64 triangle_trace_matmul(const Graph& g, const PrimeField& f);
+
+// #triangles by Itai--Rodeh over a single sufficiently large prime.
+u64 count_triangles_itai_rodeh(const Graph& g);
+
+// Statistics of the split/sparse execution (Theorem 4's shape).
+struct SplitSparseStats {
+  unsigned t = 0;           // Kronecker exponent
+  u64 rank = 0;             // R = R0^t
+  u64 num_parts = 0;        // independent work units (parallel nodes)
+  u64 part_size = 0;        // m' = values per part
+  std::size_t sparse_entries = 0;  // |D| = 2m
+};
+
+// #triangles via the rank expansion (19) computed in split/sparse
+// parts. Requires q > 6 * #triangles for an exact answer.
+u64 count_triangles_split_sparse(const Graph& g,
+                                 const TrilinearDecomposition& dec,
+                                 const PrimeField& f,
+                                 SplitSparseStats* stats = nullptr,
+                                 int ell_override = -1);
+
+// Convenience wrapper choosing the prime automatically.
+u64 count_triangles_split_sparse(const Graph& g,
+                                 const TrilinearDecomposition& dec,
+                                 SplitSparseStats* stats = nullptr);
+
+}  // namespace camelot

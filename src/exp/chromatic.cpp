@@ -1,0 +1,211 @@
+#include "exp/chromatic.hpp"
+
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+#include "field/crt.hpp"
+#include "field/primes.hpp"
+#include "graph/zeta.hpp"
+#include "poly/multipoint.hpp"
+
+namespace camelot {
+
+namespace {
+
+std::vector<u64> ascending_t_values(std::size_t n) {
+  std::vector<u64> ts(n + 1);
+  std::iota(ts.begin(), ts.end(), u64{1});
+  return ts;
+}
+
+BigInt coloring_bound(std::size_t n) {
+  // chi(t) <= t^n <= (n+1)^n.
+  return BigInt::from_u64(n + 1).pow_u32(static_cast<u32>(n));
+}
+
+class ChromaticEvaluator : public PartitionEvaluatorBase {
+ public:
+  ChromaticEvaluator(const PrimeField& f, const ChromaticProblem& p)
+      : PartitionEvaluatorBase(f, p), g_(p.graph()) {
+    const unsigned ne = problem_.n_explicit();
+    const unsigned nb = problem_.n_bits();
+    // E = vertices 0..ne-1, B = vertices ne..n-1.
+    // Independence indicators for both sides, incrementally.
+    indep_e_.assign(std::size_t{1} << ne, 1);
+    for (u64 x = 1; x < indep_e_.size(); ++x) {
+      const unsigned v = std::countr_zero(x);
+      const u64 rest = x & (x - 1);
+      const u64 nbr = g_.neighbors_mask(v) & ((u64{1} << ne) - 1);
+      indep_e_[x] = indep_e_[rest] && (nbr & rest) == 0;
+    }
+    indep_b_.assign(std::size_t{1} << nb, 1);
+    for (u64 x = 1; x < indep_b_.size(); ++x) {
+      const unsigned v = std::countr_zero(x);
+      const u64 rest = x & (x - 1);
+      const u64 nbr = (g_.neighbors_mask(ne + v) >> ne);
+      indep_b_[x] = indep_b_[rest] && (nbr & rest) == 0;
+    }
+    // Gamma_{G,B}(X) for X subseteq E: B-neighborhood of X (eq. (33)).
+    gamma_.assign(std::size_t{1} << ne, 0);
+    for (u64 x = 1; x < gamma_.size(); ++x) {
+      const unsigned v = std::countr_zero(x);
+      gamma_[x] = gamma_[x & (x - 1)] | (g_.neighbors_mask(v) >> ne);
+    }
+  }
+
+  void prepare(u64 x0) override {
+    const unsigned nb = problem_.n_bits();
+    const std::vector<u64> w = bit_weights(x0);
+    // x0^{sum of weights of X} for every X subseteq B.
+    xweight_.assign(std::size_t{1} << nb, field_.one());
+    for (u64 x = 1; x < xweight_.size(); ++x) {
+      const unsigned b = std::countr_zero(x);
+      xweight_[x] = field_.mul(xweight_[x & (x - 1)], w[b]);
+    }
+  }
+
+  std::vector<u64> g_table(std::size_t /*group*/) override {
+    const unsigned ne = problem_.n_explicit();
+    const unsigned nb = problem_.n_bits();
+    // gB(Y)[j] = sum of x0-weights of independent X subseteq Y with
+    // |X| = j (a wB-graded zeta transform over B).
+    const std::size_t bstride = nb + 1;
+    std::vector<u64> gb((std::size_t{1} << nb) * bstride, 0);
+    for (u64 x = 0; x < (u64{1} << nb); ++x) {
+      if (!indep_b_[x]) continue;
+      gb[x * bstride + std::popcount(x)] = xweight_[x];
+    }
+    zeta_transform_strided(gb, bstride, field_);
+    // fhat_E(X) = wE^{|X|} gB(B \ Gamma(X)) for independent X; then
+    // g = zeta over E (both §9.2 steps).
+    const std::size_t stride = Bivariate::stride(ne, nb);
+    const u64 bfull = (u64{1} << nb) - 1;
+    std::vector<u64> g((std::size_t{1} << ne) * stride, 0);
+    for (u64 x = 0; x < (u64{1} << ne); ++x) {
+      if (!indep_e_[x]) continue;
+      const u64 avail = bfull & ~gamma_[x];
+      const unsigned i = std::popcount(x);
+      u64* dst = g.data() + x * stride + static_cast<std::size_t>(i) * (nb + 1);
+      const u64* src = gb.data() + avail * bstride;
+      for (unsigned j = 0; j <= nb; ++j) dst[j] = src[j];
+    }
+    zeta_transform_strided(g, stride, field_);
+    return g;
+  }
+
+ private:
+  const Graph& g_;
+  std::vector<char> indep_e_, indep_b_;
+  std::vector<u64> gamma_;
+  std::vector<u64> xweight_;
+};
+
+}  // namespace
+
+ChromaticProblem::ChromaticProblem(const Graph& g)
+    : PartitionTemplateProblem(
+          static_cast<unsigned>(g.num_vertices() - g.num_vertices() / 2),
+          static_cast<unsigned>(g.num_vertices() / 2), 1,
+          ascending_t_values(g.num_vertices()),
+          coloring_bound(g.num_vertices()), "chromatic-polynomial"),
+      graph_(g) {
+  if (g.num_vertices() == 0 || g.num_vertices() > 40) {
+    throw std::invalid_argument("ChromaticProblem: need 1 <= n <= 40");
+  }
+}
+
+std::unique_ptr<Evaluator> ChromaticProblem::make_evaluator(
+    const PrimeField& f) const {
+  return std::make_unique<ChromaticEvaluator>(f, *this);
+}
+
+std::vector<BigInt> chromatic_values_ie(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0 || n > 26) {
+    throw std::invalid_argument("chromatic_values_ie: need 1 <= n <= 26");
+  }
+  const BigInt bound = BigInt::from_u64(n + 1).pow_u32(static_cast<u32>(n));
+  const std::size_t nprimes = crt_primes_needed(bound, 40);
+  const std::vector<u64> primes = find_ntt_primes(u64{1} << 40, 4, nprimes);
+
+  std::vector<std::vector<u64>> residues(n + 1,
+                                         std::vector<u64>(primes.size()));
+  for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+    PrimeField f(primes[pi]);
+    // iv[Y][k] = #independent subsets of Y with |X| = k.
+    const std::size_t stride = n + 1;
+    std::vector<u64> iv((std::size_t{1} << n) * stride, 0);
+    std::vector<char> indep(std::size_t{1} << n, 1);
+    for (u64 x = 1; x < (u64{1} << n); ++x) {
+      const unsigned v = std::countr_zero(x);
+      const u64 rest = x & (x - 1);
+      indep[x] = indep[rest] && (g.neighbors_mask(v) & rest) == 0;
+    }
+    for (u64 x = 0; x < (u64{1} << n); ++x) {
+      if (indep[x]) iv[x * stride + std::popcount(x)] = 1;
+    }
+    zeta_transform_strided(iv, stride, f);
+    // chi(t) = sum_Y (-1)^{n-|Y|} [z^n] (sum_k iv[Y][k] z^k)^t.
+    std::vector<u64> acc(n + 1, 0);  // acc[t-1]
+    std::vector<u64> pw(stride), nxt(stride);
+    for (u64 y = 0; y < (u64{1} << n); ++y) {
+      const bool neg = ((n - std::popcount(y)) % 2) == 1;
+      const u64* base = iv.data() + y * stride;
+      std::copy(base, base + stride, pw.begin());
+      for (std::size_t t = 1; t <= n + 1; ++t) {
+        const u64 top = pw[n];
+        acc[t - 1] = neg ? f.sub(acc[t - 1], top) : f.add(acc[t - 1], top);
+        if (t == n + 1) break;
+        std::fill(nxt.begin(), nxt.end(), 0);
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (pw[i] == 0) continue;
+          for (std::size_t j = 0; i + j <= n; ++j) {
+            if (base[j] == 0) continue;
+            nxt[i + j] = f.add(nxt[i + j], f.mul(pw[i], base[j]));
+          }
+        }
+        pw.swap(nxt);
+      }
+    }
+    for (std::size_t t = 1; t <= n + 1; ++t) residues[t - 1][pi] = acc[t - 1];
+  }
+  std::vector<BigInt> out;
+  out.reserve(n + 1);
+  for (std::size_t t = 1; t <= n + 1; ++t) {
+    out.push_back(crt_reconstruct(residues[t - 1], primes));
+  }
+  return out;
+}
+
+std::vector<BigInt> integer_polynomial_from_values(
+    const std::vector<BigInt>& values, const BigInt& coeff_bound) {
+  if (values.empty()) {
+    throw std::invalid_argument("integer_polynomial_from_values: empty");
+  }
+  const std::size_t m = values.size();
+  const std::size_t nprimes = crt_primes_needed(coeff_bound, 40);
+  const std::vector<u64> primes = find_ntt_primes(u64{1} << 40, 6, nprimes);
+  std::vector<std::vector<u64>> coeff_residues(m,
+                                               std::vector<u64>(nprimes));
+  for (std::size_t pi = 0; pi < nprimes; ++pi) {
+    PrimeField f(primes[pi]);
+    std::vector<u64> xs(m), ys(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      xs[i] = i + 1;
+      ys[i] = values[i].negative()
+                  ? f.neg((-values[i]).mod_u64(primes[pi]))
+                  : values[i].mod_u64(primes[pi]);
+    }
+    Poly p = interpolate(xs, ys, f);
+    for (std::size_t k = 0; k < m; ++k) coeff_residues[k][pi] = p.coeff(k);
+  }
+  std::vector<BigInt> out;
+  out.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    out.push_back(crt_reconstruct_signed(coeff_residues[k], primes));
+  }
+  return out;
+}
+
+}  // namespace camelot

@@ -1,0 +1,39 @@
+// The chromatic polynomial (paper §9, Theorem 6).
+//
+// chi_G(t) is the t-part partitioning sum-product with f the
+// independent-set indicator (eq. (32)). One Camelot proof bundles the
+// values chi_G(1..n+1) as degree blocks; the polynomial is then
+// reconstructed by interpolation. The node function g is computed
+// across the (E, B) cut with two zeta transforms (§9.2) in O*(2^{n/2})
+// — the step that makes the design beat the naive 2^n term count.
+#pragma once
+
+#include "exp/partition_template.hpp"
+#include "graph/graph.hpp"
+
+namespace camelot {
+
+class ChromaticProblem : public PartitionTemplateProblem {
+ public:
+  explicit ChromaticProblem(const Graph& g);
+
+  std::unique_ptr<Evaluator> make_evaluator(
+      const PrimeField& f) const override;
+
+  const Graph& graph() const noexcept { return graph_; }
+
+ private:
+  Graph graph_;
+};
+
+// Sequential baseline (the O*(2^n) inclusion-exclusion of [7], with
+// size tracking so covers become partitions): chi_G(t) for t=1..n+1.
+std::vector<BigInt> chromatic_values_ie(const Graph& g);
+
+// Coefficients (constant first) of the unique degree-<=deg integer
+// polynomial through (1, values[0]), (2, values[1]), ... Exact via
+// modular interpolation + CRT; coeff_bound bounds |coefficients|.
+std::vector<BigInt> integer_polynomial_from_values(
+    const std::vector<BigInt>& values, const BigInt& coeff_bound);
+
+}  // namespace camelot

@@ -1,0 +1,88 @@
+#include "exp/cnfsat.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace camelot {
+
+CnfFormula CnfFormula::random_ksat(u32 num_vars, std::size_t num_clauses,
+                                   std::size_t k, u64 seed) {
+  if (k > num_vars) throw std::invalid_argument("random_ksat: k > vars");
+  std::mt19937_64 rng(seed);
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (std::size_t c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    std::vector<u32> vars(num_vars);
+    std::iota(vars.begin(), vars.end(), 0u);
+    std::shuffle(vars.begin(), vars.end(), rng);
+    for (std::size_t i = 0; i < k; ++i) {
+      clause.push_back({vars[i], rng() % 2 == 0});
+    }
+    f.clauses.push_back(std::move(clause));
+  }
+  return f;
+}
+
+u64 count_sat_brute(const CnfFormula& f) {
+  if (f.num_vars > 26) throw std::invalid_argument("count_sat_brute: v > 26");
+  u64 count = 0;
+  for (u64 assign = 0; assign < (u64{1} << f.num_vars); ++assign) {
+    bool all = true;
+    for (const Clause& clause : f.clauses) {
+      bool sat = false;
+      for (const Literal& lit : clause) {
+        const bool value = (assign >> lit.var) & 1;
+        if (value != lit.negated) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++count;
+  }
+  return count;
+}
+
+std::unique_ptr<OrthogonalVectorsProblem> make_cnfsat_problem(
+    const CnfFormula& f) {
+  if (f.num_vars % 2 != 0 || f.num_vars == 0 || f.num_vars > 40) {
+    throw std::invalid_argument("make_cnfsat_problem: need even v <= 40");
+  }
+  const u32 half = f.num_vars / 2;
+  const std::size_t rows = std::size_t{1} << half;
+  const std::size_t m = f.clauses.size();
+  BoolMatrix a, b;
+  a.rows = b.rows = rows;
+  a.cols = b.cols = m;
+  a.bits.assign(rows * m, 0);
+  b.bits.assign(rows * m, 0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      // a: assignment i to variables 0..half-1 satisfies no literal on
+      // those variables; b likewise for variables half..v-1.
+      bool a_none = true, b_none = true;
+      for (const Literal& lit : f.clauses[j]) {
+        if (lit.var < half) {
+          const bool value = (i >> lit.var) & 1;
+          if (value != lit.negated) a_none = false;
+        } else {
+          const bool value = (i >> (lit.var - half)) & 1;
+          if (value != lit.negated) b_none = false;
+        }
+      }
+      a.at(i, j) = a_none ? 1 : 0;
+      b.at(i, j) = b_none ? 1 : 0;
+    }
+  }
+  return std::make_unique<OrthogonalVectorsProblem>(std::move(a),
+                                                    std::move(b));
+}
+
+}  // namespace camelot

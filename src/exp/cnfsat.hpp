@@ -1,0 +1,39 @@
+// Counting CNF-SAT solutions (paper §A.2, Theorem 8(1)).
+//
+// Split the v variables in half; matrix row i marks the clauses in
+// which half-assignment i satisfies *no* literal. An assignment
+// (i1, i2) satisfies the formula iff rows i1 of A and i2 of B are
+// orthogonal, so #SAT = total orthogonal pairs — the OV problem of
+// §A.1 at n = 2^{v/2}, t = m, giving proof size O*(2^{v/2}).
+#pragma once
+
+#include "apps/ov.hpp"
+
+namespace camelot {
+
+// A clause is a list of signed literals: +k means variable k (1-based
+// in sign only; variables are 0-based), -k-1... we encode a literal as
+// (var, negated).
+struct Literal {
+  u32 var = 0;
+  bool negated = false;
+};
+using Clause = std::vector<Literal>;
+
+struct CnfFormula {
+  u32 num_vars = 0;
+  std::vector<Clause> clauses;
+
+  static CnfFormula random_ksat(u32 num_vars, std::size_t num_clauses,
+                                std::size_t k, u64 seed);
+};
+
+// Number of satisfying assignments by 2^v enumeration (ground truth).
+u64 count_sat_brute(const CnfFormula& f);
+
+// Builds the §A.2 half-assignment matrices (requires even num_vars)
+// and wraps them as an OV problem; #SAT = sum of the answers.
+std::unique_ptr<OrthogonalVectorsProblem> make_cnfsat_problem(
+    const CnfFormula& f);
+
+}  // namespace camelot

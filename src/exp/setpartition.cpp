@@ -1,0 +1,130 @@
+#include "exp/setpartition.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "count/clique.hpp"
+#include "graph/zeta.hpp"
+
+namespace camelot {
+
+namespace {
+
+unsigned half_bits(std::size_t n) { return static_cast<unsigned>(n / 2); }
+
+class ExactCoverEvaluator : public PartitionEvaluatorBase {
+ public:
+  ExactCoverEvaluator(const PrimeField& f, const ExactCoverProblem& p)
+      : PartitionEvaluatorBase(f, p), problem_ref_(p) {}
+
+  void prepare(u64 x0) override {
+    const unsigned ne = problem_.n_explicit();
+    const unsigned nb = problem_.n_bits();
+    const std::vector<u64> w = bit_weights(x0);
+    // Per set X in F: its E-class, (|X cap E|, |X cap B|) slot, and
+    // the Kronecker weight x0^{sum of bit weights of X cap B}.
+    scatter_.clear();
+    scatter_.reserve(problem_ref_.family().size());
+    const u64 emask = ne == 64 ? ~u64{0} : (u64{1} << ne) - 1;
+    for (u64 x : problem_ref_.family()) {
+      const u64 eclass = x & emask;
+      const unsigned i = std::popcount(eclass);
+      u64 bpart = x >> ne;
+      const unsigned j = std::popcount(bpart);
+      u64 weight = field_.one();
+      while (bpart != 0) {
+        const unsigned b = std::countr_zero(bpart);
+        bpart &= bpart - 1;
+        weight = field_.mul(weight, w[b]);
+      }
+      scatter_.push_back(
+          {eclass, static_cast<u64>(i) * (nb + 1) + j, weight});
+    }
+  }
+
+  std::vector<u64> g_table(std::size_t /*group*/) override {
+    const unsigned ne = problem_.n_explicit();
+    const unsigned nb = problem_.n_bits();
+    const std::size_t stride = Bivariate::stride(ne, nb);
+    std::vector<u64> g((std::size_t{1} << ne) * stride, 0);
+    for (const auto& [eclass, slot, weight] : scatter_) {
+      u64& dst = g[eclass * stride + slot];
+      dst = field_.add(dst, weight);
+    }
+    zeta_transform_strided(g, stride, field_);
+    return g;
+  }
+
+ private:
+  struct Entry {
+    u64 eclass;
+    u64 slot;
+    u64 weight;
+  };
+  const ExactCoverProblem& problem_ref_;
+  std::vector<Entry> scatter_;
+};
+
+BigInt tuple_bound(std::size_t n, u64 t) {
+  // At most (|F|+1)^t <= 2^{(n+1)t} ordered tuples.
+  return BigInt::power_of_two(static_cast<unsigned>((n + 1) * t + 1));
+}
+
+}  // namespace
+
+ExactCoverProblem::ExactCoverProblem(std::size_t n, std::vector<u64> family,
+                                     u64 t)
+    : PartitionTemplateProblem(static_cast<unsigned>(n - n / 2),
+                               half_bits(n), 1, {t}, tuple_bound(n, t),
+                               "exact-set-covers"),
+      n_(n),
+      family_(std::move(family)) {
+  if (n == 0 || n > 40) {
+    throw std::invalid_argument("ExactCoverProblem: need 1 <= n <= 40");
+  }
+  for (u64 x : family_) {
+    if (x == 0) {
+      throw std::invalid_argument("ExactCoverProblem: empty set in family");
+    }
+    if (n < 64 && x >= (u64{1} << n)) {
+      throw std::invalid_argument("ExactCoverProblem: set outside universe");
+    }
+  }
+}
+
+std::unique_ptr<Evaluator> ExactCoverProblem::make_evaluator(
+    const PrimeField& f) const {
+  return std::make_unique<ExactCoverEvaluator>(f, *this);
+}
+
+BigInt ExactCoverProblem::partitions_from_answer(const BigInt& answer,
+                                                 u64 t) {
+  BigInt fact(1);
+  for (u64 i = 2; i <= t; ++i) fact = fact.mul_u64(i);
+  return divide_exact_smooth(answer, fact);
+}
+
+namespace {
+
+u64 exact_cover_dfs(const std::vector<u64>& family, u64 covered, u64 full,
+                    u64 parts_left, std::size_t next) {
+  if (parts_left == 0) return covered == full ? 1 : 0;
+  u64 count = 0;
+  for (std::size_t i = next; i < family.size(); ++i) {
+    if (family[i] & covered) continue;
+    count += exact_cover_dfs(family, covered | family[i], full,
+                             parts_left - 1, i + 1);
+  }
+  return count;
+}
+
+}  // namespace
+
+u64 count_exact_covers_brute(std::size_t n, const std::vector<u64>& family,
+                             u64 t) {
+  const u64 full = n == 64 ? ~u64{0} : (u64{1} << n) - 1;
+  // Unordered selections of t distinct disjoint sets covering U.
+  return exact_cover_dfs(family, 0, full, t, 0);
+}
+
+}  // namespace camelot

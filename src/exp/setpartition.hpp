@@ -1,0 +1,39 @@
+// Counting exact set covers / t-part set partitions (paper §8,
+// Theorem 10): the warmup instantiation of the §7 template.
+//
+// f is the indicator of the input family F (eq. (31)); the
+// partitioning sum-product equals t! times the number of ways to
+// partition U into t distinct sets from F.
+#pragma once
+
+#include "exp/partition_template.hpp"
+#include "graph/graph.hpp"
+
+namespace camelot {
+
+class ExactCoverProblem : public PartitionTemplateProblem {
+ public:
+  // `family`: subset masks over ground set {0..n-1}; the empty set is
+  // rejected (footnote 20). `t` = number of parts.
+  ExactCoverProblem(std::size_t n, std::vector<u64> family, u64 t);
+
+  std::unique_ptr<Evaluator> make_evaluator(
+      const PrimeField& f) const override;
+
+  std::size_t ground_size() const noexcept { return n_; }
+  const std::vector<u64>& family() const noexcept { return family_; }
+
+  // The template answer is t! * (#partitions); divide it out.
+  static BigInt partitions_from_answer(const BigInt& answer, u64 t);
+
+ private:
+  std::size_t n_;
+  std::vector<u64> family_;
+};
+
+// Ground truth: number of ordered t-tuples of disjoint sets from F
+// covering U exactly, by DFS over the family; exponential, tests only.
+u64 count_exact_covers_brute(std::size_t n, const std::vector<u64>& family,
+                             u64 t);
+
+}  // namespace camelot

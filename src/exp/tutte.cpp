@@ -1,0 +1,252 @@
+#include "exp/tutte.hpp"
+
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+#include "field/crt.hpp"
+#include "field/primes.hpp"
+#include "graph/zeta.hpp"
+#include "linalg/matmul.hpp"
+
+namespace camelot {
+
+namespace {
+
+std::vector<u64> ascending(std::size_t count) {
+  std::vector<u64> v(count);
+  std::iota(v.begin(), v.end(), u64{1});
+  return v;
+}
+
+class TutteEvaluator : public PartitionEvaluatorBase {
+ public:
+  TutteEvaluator(const PrimeField& f, const TutteProblem& p)
+      : PartitionEvaluatorBase(f, p), g_(p.graph()) {
+    const std::size_t n = g_.num_vertices();
+    nb_ = static_cast<unsigned>(n / 3);
+    // Vertex blocks: E1 = 0..nb-1, E2 = nb..2nb-1, B = 2nb..3nb-1.
+    const u64 m1 = (u64{1} << nb_) - 1;
+    e1_mask_ = m1;
+    e2_mask_ = m1 << nb_;
+    b_mask_ = m1 << (2 * nb_);
+    const std::size_t slots = std::size_t{1} << nb_;
+    // Edge counts inside and across the blocks, built incrementally.
+    within_e1_ = within_counts(0);
+    within_e2_ = within_counts(nb_);
+    within_b_ = within_counts(2 * nb_);
+    cross_b_e1_ = cross_counts(2 * nb_, 0);
+    cross_b_e2_ = cross_counts(2 * nb_, nb_);
+    cross_e1_e2_ = cross_counts(0, nb_);
+    (void)slots;
+  }
+
+  void prepare(u64 x0) override {
+    const std::vector<u64> w = bit_weights(x0);
+    xweight_.assign(std::size_t{1} << nb_, field_.one());
+    for (u64 x = 1; x < xweight_.size(); ++x) {
+      const unsigned b = std::countr_zero(x);
+      xweight_[x] = field_.mul(xweight_[x & (x - 1)], w[b]);
+    }
+  }
+
+  std::vector<u64> g_table(std::size_t group) override {
+    // group = r - 1; base = 1 + r.
+    const u64 base = field_.reduce(group + 2);
+    const std::size_t max_e = g_.num_edges() + 1;
+    std::vector<u64> bp(max_e + 1);  // base^k
+    bp[0] = field_.one();
+    for (std::size_t k = 1; k <= max_e; ++k) {
+      bp[k] = field_.mul(bp[k - 1], base);
+    }
+    const std::size_t slots = std::size_t{1} << nb_;
+    const unsigned ne = problem_.n_explicit();  // 2 nb
+    const unsigned nbits = problem_.n_bits();   // nb
+    const std::size_t stride = Bivariate::stride(ne, nbits);
+
+    // fhat1[X][Y1] = (1+r)^{e(X,Y1)+e(X)} x0^{weights(X)}  (wB graded
+    // by |X|, handled by per-k row restriction below).
+    // fhat2[X][Y2] = (1+r)^{e(X,Y2)+e(Y2)}.
+    Matrix f2(slots, slots);
+    for (u64 x = 0; x < slots; ++x) {
+      for (u64 y2 = 0; y2 < slots; ++y2) {
+        f2.at(x, y2) = bp[cross_b_e2_[x * slots + y2] + within_e2_[y2]];
+      }
+    }
+    // t12_k = F1_k^T F2 for each wB-degree k (the §10.2 matrix
+    // product, graded by |X| so the template's weight tracking works).
+    std::vector<Matrix> t12(nbits + 1);
+    Matrix f1k(slots, slots);
+    for (unsigned k = 0; k <= nbits; ++k) {
+      for (u64 x = 0; x < slots; ++x) {
+        const bool live = static_cast<unsigned>(std::popcount(x)) == k;
+        for (u64 y1 = 0; y1 < slots; ++y1) {
+          f1k.at(x, y1) =
+              live ? field_.mul(bp[cross_b_e1_[x * slots + y1] +
+                                   within_b_[x]],
+                                xweight_[x])
+                   : 0;
+        }
+      }
+      t12[k] = matmul(f1k.transposed(), f2, field_);
+    }
+    // g0(Y1 u Y2) = wE^{|Y1|+|Y2|} (1+r)^{e(Y1,Y2)+e(Y1)} *
+    //               sum_k t12_k[Y1][Y2] wB^k; then zeta over E.
+    std::vector<u64> g((std::size_t{1} << ne) * stride, 0);
+    for (u64 y1 = 0; y1 < slots; ++y1) {
+      for (u64 y2 = 0; y2 < slots; ++y2) {
+        const u64 f12 =
+            bp[cross_e1_e2_[y1 * slots + y2] + within_e1_[y1]];
+        const u64 y = y1 | (y2 << nb_);
+        const unsigned i = std::popcount(y);
+        u64* dst =
+            g.data() + y * stride + static_cast<std::size_t>(i) * (nbits + 1);
+        for (unsigned k = 0; k <= nbits; ++k) {
+          dst[k] = field_.mul(f12, t12[k].at(y1, y2));
+        }
+      }
+    }
+    zeta_transform_strided(g, stride, field_);
+    return g;
+  }
+
+ private:
+  // Edge counts within subsets of the nb_-vertex block at `offset`.
+  std::vector<unsigned> within_counts(unsigned offset) const {
+    const std::size_t slots = std::size_t{1} << nb_;
+    std::vector<unsigned> out(slots, 0);
+    for (u64 x = 1; x < slots; ++x) {
+      const unsigned v = std::countr_zero(x);
+      const u64 rest = x & (x - 1);
+      const u64 nbr = (g_.neighbors_mask(offset + v) >> offset) &
+                      ((u64{1} << nb_) - 1);
+      out[x] = out[rest] + std::popcount(nbr & rest);
+    }
+    return out;
+  }
+
+  // Edge counts between subset X of block `off_a` and subset Y of
+  // block `off_b`, as a slots x slots table (indexed x*slots+y).
+  std::vector<unsigned> cross_counts(unsigned off_a, unsigned off_b) const {
+    const std::size_t slots = std::size_t{1} << nb_;
+    std::vector<unsigned> out(slots * slots, 0);
+    // Per-vertex masks: neighbors of block-a vertex v inside block b.
+    std::vector<u64> nbr(nb_);
+    for (unsigned v = 0; v < nb_; ++v) {
+      nbr[v] = (g_.neighbors_mask(off_a + v) >> off_b) &
+               ((u64{1} << nb_) - 1);
+    }
+    for (u64 x = 1; x < slots; ++x) {
+      const unsigned v = std::countr_zero(x);
+      const u64 rest = x & (x - 1);
+      for (u64 y = 0; y < slots; ++y) {
+        out[x * slots + y] =
+            out[rest * slots + y] +
+            static_cast<unsigned>(std::popcount(nbr[v] & y));
+      }
+    }
+    return out;
+  }
+
+  const Graph& g_;
+  unsigned nb_ = 0;
+  u64 e1_mask_ = 0, e2_mask_ = 0, b_mask_ = 0;
+  std::vector<unsigned> within_e1_, within_e2_, within_b_;
+  std::vector<unsigned> cross_b_e1_, cross_b_e2_, cross_e1_e2_;
+  std::vector<u64> xweight_;
+};
+
+}  // namespace
+
+BigInt potts_value_bound(std::size_t n, std::size_t m) {
+  return BigInt::from_u64(n + 1).pow_u32(static_cast<u32>(n)) *
+         BigInt::from_u64(m + 2).pow_u32(static_cast<u32>(m));
+}
+
+TutteProblem::TutteProblem(const Graph& g)
+    : PartitionTemplateProblem(
+          static_cast<unsigned>(2 * (g.num_vertices() / 3)),
+          static_cast<unsigned>(g.num_vertices() / 3),
+          g.num_edges() + 1, ascending(g.num_vertices() + 1),
+          potts_value_bound(g.num_vertices(), g.num_edges()),
+          "tutte-polynomial"),
+      graph_(g) {
+  if (g.num_vertices() == 0 || g.num_vertices() % 3 != 0 ||
+      g.num_vertices() > 30) {
+    throw std::invalid_argument(
+        "TutteProblem: need 3 | n and n <= 30 (pad with isolated vertices)");
+  }
+}
+
+std::unique_ptr<Evaluator> TutteProblem::make_evaluator(
+    const PrimeField& f) const {
+  return std::make_unique<TutteEvaluator>(f, *this);
+}
+
+std::vector<BigInt> potts_grid_ie(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+  if (n == 0 || n > 24) {
+    throw std::invalid_argument("potts_grid_ie: need 1 <= n <= 24");
+  }
+  const BigInt bound = potts_value_bound(n, m);
+  const std::size_t nprimes = crt_primes_needed(bound, 40);
+  const std::vector<u64> primes = find_ntt_primes(u64{1} << 40, 4, nprimes);
+
+  const std::size_t grid = (m + 1) * (n + 1);
+  std::vector<std::vector<u64>> residues(grid, std::vector<u64>(nprimes));
+  // Edge counts within every subset, shared across primes.
+  std::vector<unsigned> within(std::size_t{1} << n, 0);
+  for (u64 x = 1; x < (u64{1} << n); ++x) {
+    const unsigned v = std::countr_zero(x);
+    const u64 rest = x & (x - 1);
+    within[x] = within[rest] +
+                static_cast<unsigned>(std::popcount(
+                    g.neighbors_mask(v) & rest));
+  }
+  for (std::size_t pi = 0; pi < nprimes; ++pi) {
+    PrimeField f(primes[pi]);
+    const std::size_t stride = n + 1;
+    std::vector<u64> pw(stride), nxt(stride);
+    for (u64 r = 1; r <= m + 1; ++r) {
+      // sz[Y][k] = sum_{X subseteq Y, |X| = k} (1+r)^{e(X)}.
+      std::vector<u64> sz((std::size_t{1} << n) * stride, 0);
+      const u64 base = f.reduce(1 + r);
+      for (u64 x = 0; x < (u64{1} << n); ++x) {
+        sz[x * stride + std::popcount(x)] = f.pow(base, within[x]);
+      }
+      zeta_transform_strided(sz, stride, f);
+      std::vector<u64> acc(n + 1, 0);
+      for (u64 y = 0; y < (u64{1} << n); ++y) {
+        const bool neg = ((n - std::popcount(y)) % 2) == 1;
+        const u64* basev = sz.data() + y * stride;
+        std::copy(basev, basev + stride, pw.begin());
+        for (std::size_t t = 1; t <= n + 1; ++t) {
+          acc[t - 1] = neg ? f.sub(acc[t - 1], pw[n])
+                           : f.add(acc[t - 1], pw[n]);
+          if (t == n + 1) break;
+          std::fill(nxt.begin(), nxt.end(), 0);
+          for (std::size_t i = 0; i <= n; ++i) {
+            if (pw[i] == 0) continue;
+            for (std::size_t j = 0; i + j <= n; ++j) {
+              if (basev[j] == 0) continue;
+              nxt[i + j] = f.add(nxt[i + j], f.mul(pw[i], basev[j]));
+            }
+          }
+          pw.swap(nxt);
+        }
+      }
+      for (std::size_t t = 1; t <= n + 1; ++t) {
+        residues[(r - 1) * (n + 1) + (t - 1)][pi] = acc[t - 1];
+      }
+    }
+  }
+  std::vector<BigInt> out;
+  out.reserve(grid);
+  for (std::size_t i = 0; i < grid; ++i) {
+    out.push_back(crt_reconstruct(residues[i], primes));
+  }
+  return out;
+}
+
+}  // namespace camelot

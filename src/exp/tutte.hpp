@@ -1,0 +1,48 @@
+// The Tutte polynomial (paper §10, Theorem 7).
+//
+// Via Fortuin--Kasteleyn, T_G is recovered from the Potts partition
+// function Z_G(t, r) at integer points (eqs. (34)-(36)); Z_G(t, r) is
+// the t-part partitioning sum-product with the inner function
+// f(X) = (1+r)^{|E(G[X])|}. One Camelot proof bundles the whole
+// (t, r) grid t = 1..n+1, r = 1..m+1 as degree blocks.
+//
+// The node function uses the tripartite split E1 / E2 / B with
+// |E1| = |E2| = |B| = n/3 (§10.2): the cross-cut aggregation
+//   t_{E1,E2}(Y1, Y2) = sum_X fhat1(X u Y1) fhat2(X u Y2)
+// is a 2^{n/3} x 2^{n/3} matrix product — this is where fast matrix
+// multiplication enters and why the per-node time is O*(2^{omega n/3}).
+#pragma once
+
+#include "exp/partition_template.hpp"
+#include "graph/graph.hpp"
+
+namespace camelot {
+
+class TutteProblem : public PartitionTemplateProblem {
+ public:
+  // Requires 3 | n (pad the graph with isolated vertices otherwise;
+  // each isolated vertex multiplies Z(t, r) by t).
+  explicit TutteProblem(const Graph& g);
+
+  std::unique_ptr<Evaluator> make_evaluator(
+      const PrimeField& f) const override;
+
+  const Graph& graph() const noexcept { return graph_; }
+  // Answers are Z(t, r) group-major in r: index = (r-1)*(n+1) + (t-1).
+  std::size_t grid_index(u64 t, u64 r) const {
+    return block_index(r - 1, t - 1);
+  }
+
+ private:
+  Graph graph_;
+};
+
+// Sequential baseline: Z_G(t, r) for t = 1..n+1, r = 1..m+1 via the
+// O*(2^n) inclusion-exclusion with size tracking. Grid is returned
+// group-major in r, matching TutteProblem answers.
+std::vector<BigInt> potts_grid_ie(const Graph& g);
+
+// Z(t, r) bound used for CRT sizing: (n+1)^n (m+2)^m.
+BigInt potts_value_bound(std::size_t n, std::size_t m);
+
+}  // namespace camelot

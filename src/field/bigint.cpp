@@ -1,0 +1,277 @@
+#include "field/bigint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace camelot {
+
+BigInt::BigInt(i64 v) {
+  if (v < 0) {
+    negative_ = true;
+    // Avoid UB on INT64_MIN.
+    limbs_.push_back(static_cast<u64>(-(v + 1)) + 1);
+  } else if (v > 0) {
+    limbs_.push_back(static_cast<u64>(v));
+  }
+}
+
+BigInt BigInt::from_u64(u64 v) {
+  BigInt r;
+  if (v != 0) r.limbs_.push_back(v);
+  return r;
+}
+
+BigInt BigInt::from_u128(u128 v) {
+  BigInt r;
+  u64 lo = static_cast<u64>(v);
+  u64 hi = static_cast<u64>(v >> 64);
+  if (hi != 0) {
+    r.limbs_ = {lo, hi};
+  } else if (lo != 0) {
+    r.limbs_ = {lo};
+  }
+  return r;
+}
+
+BigInt BigInt::from_string(const std::string& s) {
+  if (s.empty()) throw std::invalid_argument("BigInt::from_string: empty");
+  std::size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = s[0] == '-';
+    i = 1;
+  }
+  if (i == s.size()) throw std::invalid_argument("BigInt::from_string: sign only");
+  BigInt r;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      throw std::invalid_argument("BigInt::from_string: bad digit");
+    }
+    r = r.mul_u64(10) + BigInt::from_u64(static_cast<u64>(s[i] - '0'));
+  }
+  r.negative_ = neg && !r.is_zero();
+  return r;
+}
+
+BigInt BigInt::power_of_two(unsigned k) {
+  BigInt r;
+  r.limbs_.assign(k / 64 + 1, 0);
+  r.limbs_[k / 64] = u64{1} << (k % 64);
+  return r;
+}
+
+unsigned BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  u64 top = limbs_.back();
+  unsigned bits = static_cast<unsigned>((limbs_.size() - 1) * 64);
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+int BigInt::cmp_mag(const std::vector<u64>& a, const std::vector<u64>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<u64> BigInt::add_mag(const std::vector<u64>& a,
+                                 const std::vector<u64>& b) {
+  const auto& big = a.size() >= b.size() ? a : b;
+  const auto& small = a.size() >= b.size() ? b : a;
+  std::vector<u64> out(big.size(), 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    u128 s = static_cast<u128>(big[i]) + (i < small.size() ? small[i] : 0) +
+             carry;
+    out[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  if (carry != 0) out.push_back(carry);
+  return out;
+}
+
+std::vector<u64> BigInt::sub_mag(const std::vector<u64>& a,
+                                 const std::vector<u64>& b) {
+  std::vector<u64> out(a.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u128 bi = static_cast<u128>(i < b.size() ? b[i] : 0) + borrow;
+    if (static_cast<u128>(a[i]) >= bi) {
+      out[i] = static_cast<u64>(static_cast<u128>(a[i]) - bi);
+      borrow = 0;
+    } else {
+      out[i] = static_cast<u64>((static_cast<u128>(1) << 64) + a[i] - bi);
+      borrow = 1;
+    }
+  }
+  return out;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt r;
+  if (negative_ == o.negative_) {
+    r.limbs_ = add_mag(limbs_, o.limbs_);
+    r.negative_ = negative_;
+  } else {
+    int c = cmp_mag(limbs_, o.limbs_);
+    if (c == 0) return BigInt{};
+    if (c > 0) {
+      r.limbs_ = sub_mag(limbs_, o.limbs_);
+      r.negative_ = negative_;
+    } else {
+      r.limbs_ = sub_mag(o.limbs_, limbs_);
+      r.negative_ = o.negative_;
+    }
+  }
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (is_zero() || o.is_zero()) return BigInt{};
+  BigInt r;
+  r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      u128 cur = static_cast<u128>(limbs_[i]) * o.limbs_[j] +
+                 r.limbs_[i + j] + carry;
+      r.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    r.limbs_[i + o.limbs_.size()] += carry;
+  }
+  r.negative_ = negative_ != o.negative_;
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::mul_u64(u64 m) const {
+  if (m == 0 || is_zero()) return BigInt{};
+  BigInt r;
+  r.limbs_.assign(limbs_.size() + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u128 cur = static_cast<u128>(limbs_[i]) * m + carry;
+    r.limbs_[i] = static_cast<u64>(cur);
+    carry = static_cast<u64>(cur >> 64);
+  }
+  r.limbs_[limbs_.size()] = carry;
+  r.negative_ = negative_;
+  r.trim();
+  return r;
+}
+
+u64 BigInt::mod_u64(u64 m) const {
+  if (m == 0) throw std::invalid_argument("BigInt::mod_u64: zero modulus");
+  u128 rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 64) | limbs_[i]) % m;
+  }
+  return static_cast<u64>(rem);
+}
+
+BigInt BigInt::divmod_u64(u64 d, u64* remainder) const {
+  if (d == 0) throw std::invalid_argument("BigInt::divmod_u64: zero divisor");
+  BigInt q;
+  q.limbs_.assign(limbs_.size(), 0);
+  u128 rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    u128 cur = (rem << 64) | limbs_[i];
+    q.limbs_[i] = static_cast<u64>(cur / d);
+    rem = cur % d;
+  }
+  if (remainder != nullptr) *remainder = static_cast<u64>(rem);
+  q.negative_ = negative_;
+  q.trim();
+  return q;
+}
+
+BigInt BigInt::pow_u32(u32 k) const {
+  BigInt base = *this;
+  BigInt r = BigInt::from_u64(1);
+  while (k > 0) {
+    if (k & 1) r = r * base;
+    base = base * base;
+    k >>= 1;
+  }
+  return r;
+}
+
+bool BigInt::operator==(const BigInt& o) const noexcept {
+  return negative_ == o.negative_ && limbs_ == o.limbs_;
+}
+
+bool BigInt::operator<(const BigInt& o) const noexcept {
+  if (negative_ != o.negative_) return negative_;
+  int c = cmp_mag(limbs_, o.limbs_);
+  return negative_ ? c > 0 : c < 0;
+}
+
+bool BigInt::operator<=(const BigInt& o) const noexcept {
+  return *this < o || *this == o;
+}
+
+i64 BigInt::to_i64() const {
+  if (limbs_.empty()) return 0;
+  if (limbs_.size() > 1) throw std::overflow_error("BigInt::to_i64");
+  u64 mag = limbs_[0];
+  if (negative_) {
+    if (mag > static_cast<u64>(INT64_MAX) + 1) {
+      throw std::overflow_error("BigInt::to_i64");
+    }
+    return mag == static_cast<u64>(INT64_MAX) + 1
+               ? INT64_MIN
+               : -static_cast<i64>(mag);
+  }
+  if (mag > static_cast<u64>(INT64_MAX)) throw std::overflow_error("BigInt");
+  return static_cast<i64>(mag);
+}
+
+u64 BigInt::to_u64() const {
+  if (negative_) throw std::overflow_error("BigInt::to_u64: negative");
+  if (limbs_.empty()) return 0;
+  if (limbs_.size() > 1) throw std::overflow_error("BigInt::to_u64");
+  return limbs_[0];
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Peel 19 decimal digits at a time.
+  constexpr u64 kChunk = 10'000'000'000'000'000'000ull;
+  std::vector<u64> chunks;
+  BigInt cur = *this;
+  cur.negative_ = false;
+  while (!cur.is_zero()) {
+    u64 rem = 0;
+    cur = cur.divmod_u64(kChunk, &rem);
+    chunks.push_back(rem);
+  }
+  std::string s = negative_ ? "-" : "";
+  s += std::to_string(chunks.back());
+  for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    s += std::string(19 - part.size(), '0') + part;
+  }
+  return s;
+}
+
+}  // namespace camelot

@@ -1,0 +1,80 @@
+// Minimal arbitrary-precision signed integers.
+//
+// Camelot answers are integers that can exceed 64 bits (e.g. the
+// permanent of an n x n matrix, footnote 5 / §A.5): the framework
+// recovers them from residues modulo several primes via the Chinese
+// Remainder Theorem. This module provides exactly the operations that
+// reconstruction and bound computation need; it is not a general
+// bignum library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace camelot {
+
+// Sign-magnitude arbitrary-precision integer; magnitude is little-
+// endian base-2^64. Zero is canonically (positive, empty limbs).
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(i64 v);             // NOLINT(google-explicit-constructor)
+  static BigInt from_u64(u64 v);
+  static BigInt from_u128(u128 v);
+  // Parses an optionally signed decimal string.
+  static BigInt from_string(const std::string& s);
+  // 2^k.
+  static BigInt power_of_two(unsigned k);
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+  bool negative() const noexcept { return negative_; }
+  // Number of significant bits of |x| (0 for zero).
+  unsigned bit_length() const noexcept;
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+
+  BigInt mul_u64(u64 m) const;
+  // |x| mod m for m != 0 (sign of x ignored; used for CRT magnitudes).
+  u64 mod_u64(u64 m) const;
+  // Floor division of the magnitude by a small divisor; remainder out.
+  BigInt divmod_u64(u64 d, u64* remainder) const;
+
+  // x^k for small k (used for answer bounds like (n+1)^n).
+  BigInt pow_u32(u32 k) const;
+
+  bool operator==(const BigInt& o) const noexcept;
+  bool operator!=(const BigInt& o) const noexcept { return !(*this == o); }
+  bool operator<(const BigInt& o) const noexcept;
+  bool operator<=(const BigInt& o) const noexcept;
+  bool operator>(const BigInt& o) const noexcept { return o < *this; }
+  bool operator>=(const BigInt& o) const noexcept { return o <= *this; }
+
+  // Exact conversion; throws std::overflow_error if out of range.
+  i64 to_i64() const;
+  u64 to_u64() const;
+
+  std::string to_string() const;
+
+ private:
+  static int cmp_mag(const std::vector<u64>& a, const std::vector<u64>& b);
+  static std::vector<u64> add_mag(const std::vector<u64>& a,
+                                  const std::vector<u64>& b);
+  // Requires |a| >= |b|.
+  static std::vector<u64> sub_mag(const std::vector<u64>& a,
+                                  const std::vector<u64>& b);
+  void trim();
+
+  bool negative_ = false;
+  std::vector<u64> limbs_;
+};
+
+}  // namespace camelot

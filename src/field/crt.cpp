@@ -1,0 +1,77 @@
+#include "field/crt.hpp"
+
+#include <stdexcept>
+
+#include "field/primes.hpp"
+
+namespace camelot {
+
+namespace {
+
+u64 invmod(u64 a, u64 m) {
+  // Extended Euclid over signed 128-bit to stay exact.
+  __int128 t = 0, newt = 1;
+  __int128 r = m, newr = a % m;
+  while (newr != 0) {
+    __int128 qt = r / newr;
+    __int128 tmp = t - qt * newt;
+    t = newt;
+    newt = tmp;
+    tmp = r - qt * newr;
+    r = newr;
+    newr = tmp;
+  }
+  if (r != 1) throw std::invalid_argument("invmod: not coprime");
+  if (t < 0) t += m;
+  return static_cast<u64>(t);
+}
+
+}  // namespace
+
+BigInt crt_reconstruct(const std::vector<u64>& residues,
+                       const std::vector<u64>& moduli) {
+  if (residues.size() != moduli.size()) {
+    throw std::invalid_argument("crt_reconstruct: size mismatch");
+  }
+  if (residues.empty()) {
+    throw std::invalid_argument("crt_reconstruct: empty input");
+  }
+  // Incremental (mixed-radix) CRT:
+  //   x <- x + M * ((r_i - x) * M^{-1} mod q_i),  M <- M * q_i.
+  BigInt x = BigInt::from_u64(residues[0] % moduli[0]);
+  BigInt big_m = BigInt::from_u64(moduli[0]);
+  for (std::size_t i = 1; i < moduli.size(); ++i) {
+    const u64 q = moduli[i];
+    const u64 x_mod_q = x.mod_u64(q);
+    const u64 r = residues[i] % q;
+    const u64 diff = r >= x_mod_q ? r - x_mod_q : r + q - x_mod_q;
+    const u64 m_mod_q = big_m.mod_u64(q);
+    const u64 t = static_cast<u64>(
+        (static_cast<u128>(diff) * invmod(m_mod_q, q)) % q);
+    x += big_m.mul_u64(t);
+    big_m = big_m.mul_u64(q);
+  }
+  return x;
+}
+
+BigInt crt_reconstruct_signed(const std::vector<u64>& residues,
+                              const std::vector<u64>& moduli) {
+  BigInt x = crt_reconstruct(residues, moduli);
+  BigInt big_m = BigInt::from_u64(1);
+  for (u64 q : moduli) big_m = big_m.mul_u64(q);
+  // If x > M/2, the true value is x - M.
+  u64 rem = 0;
+  BigInt half = big_m.divmod_u64(2, &rem);
+  if (half < x) return x - big_m;
+  return x;
+}
+
+std::size_t crt_primes_needed(const BigInt& bound, unsigned prime_bits) {
+  if (prime_bits == 0 || prime_bits > 61) {
+    throw std::invalid_argument("crt_primes_needed: bad prime_bits");
+  }
+  const unsigned target_bits = bound.bit_length() + 2;  // 2*bound + slack
+  return (target_bits + prime_bits - 1) / prime_bits;
+}
+
+}  // namespace camelot

@@ -1,0 +1,32 @@
+// Chinese Remainder Theorem reconstruction.
+//
+// The Camelot template recovers integer answers (clique counts,
+// permanents, polynomial coefficients, ...) from their residues modulo
+// several framework-chosen primes (paper footnote 5, §5.2 "we can use
+// O(1) distinct primes q and the Chinese Remainder Theorem").
+#pragma once
+
+#include <vector>
+
+#include "field/bigint.hpp"
+#include "field/field.hpp"
+
+namespace camelot {
+
+// Reconstructs the unique x with 0 <= x < prod(moduli) such that
+// x = residues[i] (mod moduli[i]) for all i. Moduli must be pairwise
+// coprime (primes in practice) and residues[i] < moduli[i].
+BigInt crt_reconstruct(const std::vector<u64>& residues,
+                       const std::vector<u64>& moduli);
+
+// Signed reconstruction: returns the unique x with
+// -prod/2 < x <= prod/2 matching the residues. Correct whenever the
+// true answer satisfies 2*|answer| < prod(moduli).
+BigInt crt_reconstruct_signed(const std::vector<u64>& residues,
+                              const std::vector<u64>& moduli);
+
+// Number of primes of at least `prime_bits` bits needed so that the
+// CRT modulus exceeds 2*bound (safe for signed reconstruction).
+std::size_t crt_primes_needed(const BigInt& bound, unsigned prime_bits);
+
+}  // namespace camelot

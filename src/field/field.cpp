@@ -1,0 +1,70 @@
+#include "field/field.hpp"
+
+#include <stdexcept>
+
+#include "field/primes.hpp"
+
+namespace camelot {
+
+PrimeField::PrimeField(u64 q) : q_(q), two_adicity_(0), generator_(1) {
+  if (q >= (u64{1} << 62)) {
+    throw std::invalid_argument("PrimeField: modulus must be < 2^62");
+  }
+  if (!is_prime_u64(q)) {
+    throw std::invalid_argument("PrimeField: modulus must be prime");
+  }
+  if (q > 2) {
+    u64 m = q - 1;
+    while (m % 2 == 0) {
+      m /= 2;
+      ++two_adicity_;
+    }
+    generator_ = primitive_root(q);
+  }
+}
+
+u64 PrimeField::pow(u64 a, u64 e) const noexcept {
+  u64 r = one();
+  a %= q_;
+  while (e > 0) {
+    if (e & 1) r = mul(r, a);
+    a = mul(a, a);
+    e >>= 1;
+  }
+  return r;
+}
+
+u64 PrimeField::inv(u64 a) const {
+  if (a == 0) throw std::invalid_argument("PrimeField::inv: zero element");
+  // Fermat: a^(q-2) = a^{-1} for prime q.
+  return pow(a, q_ - 2);
+}
+
+u64 PrimeField::root_of_unity(int k) const {
+  if (k < 0 || k > two_adicity_) {
+    throw std::invalid_argument("PrimeField::root_of_unity: k too large");
+  }
+  return pow(generator_, (q_ - 1) >> k);
+}
+
+std::vector<u64> PrimeField::batch_inv(const std::vector<u64>& xs) const {
+  std::vector<u64> out(xs.size());
+  if (xs.empty()) return out;
+  // prefix[i] = x_0 * ... * x_{i-1}
+  std::vector<u64> prefix(xs.size() + 1);
+  prefix[0] = one();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] == 0) {
+      throw std::invalid_argument("PrimeField::batch_inv: zero element");
+    }
+    prefix[i + 1] = mul(prefix[i], xs[i]);
+  }
+  u64 acc = inv(prefix[xs.size()]);
+  for (std::size_t i = xs.size(); i-- > 0;) {
+    out[i] = mul(acc, prefix[i]);
+    acc = mul(acc, xs[i]);
+  }
+  return out;
+}
+
+}  // namespace camelot

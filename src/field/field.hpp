@@ -1,0 +1,100 @@
+// Prime-order finite fields Z_q for 64-bit primes q.
+//
+// The Camelot framework (paper §1.3) works over fields of prime order:
+// proof polynomials live in Z_q[x], Reed--Solomon codewords in Z_q^e.
+// Elements are represented as raw uint64_t values in [0, q); all
+// operations go through an explicit PrimeField object so the modulus is
+// never ambient state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace camelot {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using u128 = unsigned __int128;
+
+// Exact integer power for index arithmetic (s^k table sizes etc.).
+constexpr u64 ipow(u64 base, unsigned exp) {
+  u64 r = 1;
+  for (unsigned i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+// Arithmetic in Z_q for a prime q < 2^62.
+//
+// Multiplication reduces a 128-bit product with a single hardware
+// division; the constructor precomputes the two-adicity of q-1 and a
+// primitive root so NTT parameters are available on demand.
+class PrimeField {
+ public:
+  // Constructs the field Z_q. Requires q prime (checked) and q < 2^62.
+  explicit PrimeField(u64 q);
+
+  u64 modulus() const noexcept { return q_; }
+
+  // Largest a such that 2^a divides q-1 (determines the maximum NTT
+  // transform length 2^a supported by this field).
+  int two_adicity() const noexcept { return two_adicity_; }
+
+  // A generator of the multiplicative group Z_q^*.
+  u64 generator() const noexcept { return generator_; }
+
+  u64 zero() const noexcept { return 0; }
+  u64 one() const noexcept { return q_ == 1 ? 0 : 1; }
+
+  // Canonical representative of an arbitrary 64-bit value.
+  u64 reduce(u64 v) const noexcept { return v % q_; }
+
+  // Canonical representative of a signed value (handles negatives).
+  u64 from_signed(i64 v) const noexcept {
+    i64 r = v % static_cast<i64>(q_);
+    if (r < 0) r += static_cast<i64>(q_);
+    return static_cast<u64>(r);
+  }
+
+  u64 add(u64 a, u64 b) const noexcept {
+    u64 s = a + b;  // no overflow: a,b < 2^62
+    return s >= q_ ? s - q_ : s;
+  }
+
+  u64 sub(u64 a, u64 b) const noexcept { return a >= b ? a - b : a + q_ - b; }
+
+  u64 neg(u64 a) const noexcept { return a == 0 ? 0 : q_ - a; }
+
+  u64 mul(u64 a, u64 b) const noexcept {
+    return static_cast<u64>((static_cast<u128>(a) * b) % q_);
+  }
+
+  u64 sqr(u64 a) const noexcept { return mul(a, a); }
+
+  // a^e mod q by square-and-multiply.
+  u64 pow(u64 a, u64 e) const noexcept;
+
+  // Multiplicative inverse; requires gcd(a, q) = 1 (i.e. a != 0).
+  u64 inv(u64 a) const;
+
+  // a / b = a * inv(b).
+  u64 div(u64 a, u64 b) const { return mul(a, inv(b)); }
+
+  // Primitive 2^k-th root of unity; requires k <= two_adicity().
+  u64 root_of_unity(int k) const;
+
+  // Batch inversion of nonzero elements (Montgomery's trick):
+  // n inversions at the cost of one inversion plus 3n multiplications.
+  std::vector<u64> batch_inv(const std::vector<u64>& xs) const;
+
+  friend bool operator==(const PrimeField& a, const PrimeField& b) noexcept {
+    return a.q_ == b.q_;
+  }
+
+ private:
+  u64 q_;
+  int two_adicity_;
+  u64 generator_;
+};
+
+}  // namespace camelot

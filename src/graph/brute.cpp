@@ -1,0 +1,244 @@
+#include "graph/brute.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+namespace camelot {
+
+u64 count_triangles_brute(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  u64 count = 0;
+  if (n <= 64) {
+    for (auto [u, v] : g.edges()) {
+      const u64 common = g.neighbors_mask(u) & g.neighbors_mask(v);
+      // Only w > v to count each triangle once (u < v already).
+      const u64 above = v + 1 >= 64 ? 0 : ~((u64{2} << v) - 1);
+      count += std::popcount(common & above);
+    }
+    return count;
+  }
+  for (auto [u, v] : g.edges()) {
+    for (std::size_t w = v + 1; w < n; ++w) {
+      if (g.has_edge(u, w) && g.has_edge(v, w)) ++count;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+u64 cliques_dfs(const Graph& g, std::vector<std::size_t>& candidates,
+                std::size_t remaining) {
+  if (remaining == 0) return 1;
+  if (candidates.size() < remaining) return 0;
+  u64 count = 0;
+  // Take each candidate in turn as the smallest next clique vertex.
+  for (std::size_t i = 0; i + remaining <= candidates.size(); ++i) {
+    const std::size_t v = candidates[i];
+    std::vector<std::size_t> next;
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      if (g.has_edge(v, candidates[j])) next.push_back(candidates[j]);
+    }
+    count += cliques_dfs(g, next, remaining - 1);
+  }
+  return count;
+}
+
+}  // namespace
+
+u64 count_k_cliques_brute(const Graph& g, std::size_t k) {
+  if (k == 0) return 1;
+  std::vector<std::size_t> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return cliques_dfs(g, all, k);
+}
+
+namespace {
+
+u64 independent_sets_rec(const Graph& g, u64 allowed) {
+  if (allowed == 0) return 1;
+  const std::size_t v = std::countr_zero(allowed);
+  const u64 rest = allowed & ~(u64{1} << v);
+  // Either v is out, or v is in and its neighbors are out.
+  return independent_sets_rec(g, rest) +
+         independent_sets_rec(g, rest & ~g.neighbors_mask(v));
+}
+
+}  // namespace
+
+u64 count_independent_sets_brute(const Graph& g) {
+  if (g.num_vertices() > 64) {
+    throw std::invalid_argument("count_independent_sets_brute: n > 64");
+  }
+  const u64 all = g.num_vertices() == 64
+                      ? ~u64{0}
+                      : (u64{1} << g.num_vertices()) - 1;
+  return independent_sets_rec(g, all);
+}
+
+namespace {
+
+u64 hamilton_dfs(const Graph& g, std::size_t v, u64 visited, u64 all) {
+  if (visited == all) return g.has_edge(v, 0) ? 1 : 0;
+  u64 count = 0;
+  for (std::size_t w = 1; w < g.num_vertices(); ++w) {
+    const u64 bit = u64{1} << w;
+    if ((visited & bit) == 0 && g.has_edge(v, w)) {
+      count += hamilton_dfs(g, w, visited | bit, all);
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+u64 count_hamilton_cycles_brute(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n > 24) throw std::invalid_argument("hamilton brute: n too large");
+  if (n < 3) return 0;
+  const u64 all = (u64{1} << n) - 1;
+  // Anchor at vertex 0; each undirected cycle is found twice.
+  return hamilton_dfs(g, 0, 1, all) / 2;
+}
+
+std::vector<std::vector<BigInt>> whitney_rank_matrix_brute(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  const auto edge_list = g.edges();
+  const std::size_t m = edge_list.size();
+  if (m > 24) throw std::invalid_argument("whitney brute: m > 24");
+  std::vector<std::vector<BigInt>> rank(
+      n + 1, std::vector<BigInt>(m + 1, BigInt(0)));
+  for (u64 mask = 0; mask < (u64{1} << m); ++mask) {
+    std::vector<std::pair<u32, u32>> chosen;
+    for (std::size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1) chosen.push_back(edge_list[i]);
+    }
+    const std::size_t c = Graph::components_with_edges(n, chosen);
+    rank[c][chosen.size()] += BigInt(1);
+  }
+  return rank;
+}
+
+BigInt chromatic_value_from_whitney(
+    const std::vector<std::vector<BigInt>>& rank, i64 t) {
+  BigInt total(0);
+  for (std::size_t c = 0; c < rank.size(); ++c) {
+    const BigInt tc = BigInt(t).pow_u32(static_cast<u32>(c));
+    for (std::size_t k = 0; k < rank[c].size(); ++k) {
+      BigInt term = rank[c][k] * tc;
+      if (k % 2 == 1) term = -term;
+      total += term;
+    }
+  }
+  return total;
+}
+
+BigInt potts_value_from_whitney(const std::vector<std::vector<BigInt>>& rank,
+                                i64 t, i64 r) {
+  BigInt total(0);
+  for (std::size_t c = 0; c < rank.size(); ++c) {
+    const BigInt tc = BigInt(t).pow_u32(static_cast<u32>(c));
+    for (std::size_t k = 0; k < rank[c].size(); ++k) {
+      total += rank[c][k] * tc * BigInt(r).pow_u32(static_cast<u32>(k));
+    }
+  }
+  return total;
+}
+
+namespace {
+
+struct MultiGraph {
+  std::size_t n;
+  std::vector<std::pair<u32, u32>> edges;  // loops allowed (u == v)
+};
+
+bool is_bridge(const MultiGraph& g, std::size_t skip) {
+  std::vector<std::pair<u32, u32>> rest;
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    if (i != skip && g.edges[i].first != g.edges[i].second) {
+      rest.push_back(g.edges[i]);
+    }
+  }
+  const std::size_t with = Graph::components_with_edges(
+      g.n, [&] {
+        auto all = rest;
+        all.push_back(g.edges[skip]);
+        return all;
+      }());
+  return Graph::components_with_edges(g.n, rest) > with;
+}
+
+MultiGraph contract(const MultiGraph& g, std::size_t ei) {
+  const auto [a, b] = g.edges[ei];
+  MultiGraph out;
+  out.n = g.n;  // keep labels; merged vertex keeps label a
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    if (i == ei) continue;
+    u32 u = g.edges[i].first, v = g.edges[i].second;
+    if (u == b) u = a;
+    if (v == b) v = a;
+    out.edges.emplace_back(u, v);
+  }
+  return out;
+}
+
+BigInt tutte_rec(const MultiGraph& g, i64 x, i64 y) {
+  if (g.edges.empty()) return BigInt(1);
+  const std::size_t last = g.edges.size() - 1;
+  const auto [u, v] = g.edges[last];
+  if (u == v) {  // loop
+    MultiGraph del = g;
+    del.edges.pop_back();
+    return BigInt(y) * tutte_rec(del, x, y);
+  }
+  if (is_bridge(g, last)) {
+    return BigInt(x) * tutte_rec(contract(g, last), x, y);
+  }
+  MultiGraph del = g;
+  del.edges.pop_back();
+  return tutte_rec(del, x, y) + tutte_rec(contract(g, last), x, y);
+}
+
+}  // namespace
+
+BigInt tutte_value_delcontract(const Graph& g, i64 x, i64 y) {
+  if (g.num_edges() > 18) {
+    throw std::invalid_argument("tutte_value_delcontract: m > 18");
+  }
+  MultiGraph mg{g.num_vertices(), g.edges()};
+  return tutte_rec(mg, x, y);
+}
+
+u64 count_colorings_brute(const Graph& g, std::size_t t) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return 1;
+  if (t == 0) return 0;
+  double total = 1;
+  for (std::size_t i = 0; i < n; ++i) total *= static_cast<double>(t);
+  if (total > 2e8) throw std::invalid_argument("colorings brute: t^n large");
+  const auto edge_list = g.edges();
+  std::vector<std::size_t> color(n, 0);
+  u64 count = 0;
+  while (true) {
+    bool proper = true;
+    for (auto [u, v] : edge_list) {
+      if (color[u] == color[v]) {
+        proper = false;
+        break;
+      }
+    }
+    if (proper) ++count;
+    // Odometer increment.
+    std::size_t i = 0;
+    for (; i < n; ++i) {
+      if (++color[i] < t) break;
+      color[i] = 0;
+    }
+    if (i == n) break;
+  }
+  return count;
+}
+
+}  // namespace camelot

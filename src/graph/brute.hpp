@@ -1,0 +1,49 @@
+// Brute-force and textbook ground truths for the counting problems.
+//
+// These are the oracles every Camelot algorithm is differentially
+// tested against, and several double as the paper's sequential
+// baselines in the benchmark tables.
+#pragma once
+
+#include "field/bigint.hpp"
+#include "graph/graph.hpp"
+
+namespace camelot {
+
+// Number of triangles by edge iteration + common-neighborhood
+// popcounts (n <= 64) or neighbor scans otherwise. O(m * n / 64).
+u64 count_triangles_brute(const Graph& g);
+
+// Number of k-cliques by ordered DFS enumeration.
+u64 count_k_cliques_brute(const Graph& g, std::size_t k);
+
+// Number of independent sets (including the empty set), n <= 30ish.
+u64 count_independent_sets_brute(const Graph& g);
+
+// Number of Hamiltonian cycles (undirected, each cycle counted once),
+// by permutation DFS; n <= ~12.
+u64 count_hamilton_cycles_brute(const Graph& g);
+
+// Whitney rank matrix by 2^m edge-subset enumeration: entry (c, k) is
+// the number of edge subsets F with c(F)=c components and |F|=k.
+// Ground truth for both the Tutte polynomial (via Z_G) and the
+// chromatic polynomial (via r = -1). Requires m <= ~22.
+std::vector<std::vector<BigInt>> whitney_rank_matrix_brute(const Graph& g);
+
+// chi_G(t) at one integer point from the Whitney matrix:
+// chi_G(t) = sum_F (-1)^{|F|} t^{c(F)}.
+BigInt chromatic_value_from_whitney(
+    const std::vector<std::vector<BigInt>>& rank, i64 t);
+
+// Z_G(t, r) = sum_F t^{c(F)} r^{|F|} at integer points.
+BigInt potts_value_from_whitney(const std::vector<std::vector<BigInt>>& rank,
+                                i64 t, i64 r);
+
+// Tutte polynomial value T_G(x, y) by deletion-contraction on a
+// multigraph (exponential; m <= ~18). Handles loops and bridges.
+BigInt tutte_value_delcontract(const Graph& g, i64 x, i64 y);
+
+// Proper t-colorings by direct enumeration; t^n <= ~10^8.
+u64 count_colorings_brute(const Graph& g, std::size_t t);
+
+}  // namespace camelot

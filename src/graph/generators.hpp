@@ -1,0 +1,36 @@
+// Graph generators for workloads (deterministic given a seed).
+#pragma once
+
+#include <random>
+
+#include "graph/graph.hpp"
+
+namespace camelot {
+
+// Erdos--Renyi G(n, p).
+Graph gnp(std::size_t n, double p, u64 seed);
+
+// Uniform random graph with exactly m edges.
+Graph gnm(std::size_t n, std::size_t m, u64 seed);
+
+Graph complete_graph(std::size_t n);
+Graph cycle_graph(std::size_t n);
+Graph path_graph(std::size_t n);
+Graph star_graph(std::size_t n);  // vertex 0 is the center
+Graph empty_graph(std::size_t n);
+Graph petersen_graph();
+
+// Complete bipartite K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+// Sparse background G(n, m) plus `hubs` vertices adjacent to
+// everything — the skewed-degree workload for the Alon--Yuster--Zwick
+// experiment (Theorem 5), where high/low-degree splitting matters.
+Graph hub_graph(std::size_t n, std::size_t m, std::size_t hubs, u64 seed);
+
+// G(n, p) with a planted clique on `clique_size` random vertices
+// (clique counting workload with a known-dense pocket).
+Graph planted_clique(std::size_t n, double p, std::size_t clique_size,
+                     u64 seed);
+
+}  // namespace camelot

@@ -1,0 +1,138 @@
+#include "graph/graph.hpp"
+
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+namespace camelot {
+
+Graph::Graph(std::size_t n) : n_(n), words_((n + 63) / 64) {
+  adj_.assign(n_ * std::max<std::size_t>(words_, 1), 0);
+}
+
+void Graph::add_edge(std::size_t u, std::size_t v) {
+  if (u >= n_ || v >= n_) throw std::invalid_argument("add_edge: bad vertex");
+  if (u == v) throw std::invalid_argument("add_edge: self-loop");
+  if (has_edge(u, v)) throw std::invalid_argument("add_edge: duplicate edge");
+  adj_[u * words_ + v / 64] |= u64{1} << (v % 64);
+  adj_[v * words_ + u / 64] |= u64{1} << (u % 64);
+  ++m_;
+}
+
+bool Graph::has_edge(std::size_t u, std::size_t v) const {
+  if (u >= n_ || v >= n_) throw std::invalid_argument("has_edge: bad vertex");
+  return (adj_[u * words_ + v / 64] >> (v % 64)) & 1;
+}
+
+std::size_t Graph::degree(std::size_t v) const {
+  if (v >= n_) throw std::invalid_argument("degree: bad vertex");
+  std::size_t d = 0;
+  for (std::size_t w = 0; w < words_; ++w) {
+    d += std::popcount(adj_[v * words_ + w]);
+  }
+  return d;
+}
+
+std::vector<std::pair<u32, u32>> Graph::edges() const {
+  std::vector<std::pair<u32, u32>> out;
+  out.reserve(m_);
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (std::size_t w = 0; w < words_; ++w) {
+      u64 bits = adj_[u * words_ + w];
+      while (bits != 0) {
+        const std::size_t v = 64 * w + std::countr_zero(bits);
+        bits &= bits - 1;
+        if (u < v) out.emplace_back(static_cast<u32>(u), static_cast<u32>(v));
+      }
+    }
+  }
+  return out;
+}
+
+u64 Graph::neighbors_mask(std::size_t v) const {
+  if (n_ > 64) throw std::invalid_argument("neighbors_mask: n > 64");
+  if (v >= n_) throw std::invalid_argument("neighbors_mask: bad vertex");
+  return adj_[v * words_];
+}
+
+bool Graph::is_independent(u64 mask) const {
+  if (n_ > 64) throw std::invalid_argument("is_independent: n > 64");
+  u64 rest = mask;
+  while (rest != 0) {
+    const std::size_t v = std::countr_zero(rest);
+    rest &= rest - 1;
+    if (neighbors_mask(v) & mask) return false;
+  }
+  return true;
+}
+
+bool Graph::is_clique(u64 mask) const {
+  if (n_ > 64) throw std::invalid_argument("is_clique: n > 64");
+  u64 rest = mask;
+  while (rest != 0) {
+    const std::size_t v = std::countr_zero(rest);
+    rest &= rest - 1;
+    // v must be adjacent to every other vertex of the mask.
+    if ((neighbors_mask(v) & mask) != (mask & ~(u64{1} << v))) return false;
+  }
+  return true;
+}
+
+std::size_t Graph::edges_within(u64 mask) const {
+  if (n_ > 64) throw std::invalid_argument("edges_within: n > 64");
+  std::size_t count = 0;
+  u64 rest = mask;
+  while (rest != 0) {
+    const std::size_t v = std::countr_zero(rest);
+    rest &= rest - 1;
+    count += std::popcount(neighbors_mask(v) & mask);
+  }
+  return count / 2;
+}
+
+std::size_t Graph::edges_between(u64 a, u64 b) const {
+  if (n_ > 64) throw std::invalid_argument("edges_between: n > 64");
+  if (a & b) throw std::invalid_argument("edges_between: sets overlap");
+  std::size_t count = 0;
+  u64 rest = a;
+  while (rest != 0) {
+    const std::size_t v = std::countr_zero(rest);
+    rest &= rest - 1;
+    count += std::popcount(neighbors_mask(v) & b);
+  }
+  return count;
+}
+
+Graph Graph::induced_subgraph(const std::vector<std::size_t>& keep) const {
+  Graph out(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (std::size_t j = i + 1; j < keep.size(); ++j) {
+      if (has_edge(keep[i], keep[j])) out.add_edge(i, j);
+    }
+  }
+  return out;
+}
+
+std::size_t Graph::components_with_edges(
+    std::size_t n, const std::vector<std::pair<u32, u32>>& edge_list) {
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::size_t components = n;
+  for (auto [u, v] : edge_list) {
+    const std::size_t ru = find(u), rv = find(v);
+    if (ru != rv) {
+      parent[ru] = rv;
+      --components;
+    }
+  }
+  return components;
+}
+
+}  // namespace camelot

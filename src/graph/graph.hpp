@@ -1,0 +1,66 @@
+// Simple undirected graphs.
+//
+// Adjacency is stored as bit rows (words of 64 vertices), so the
+// exponential-time algorithms (chromatic/Tutte, §7-§10) get O(1)
+// neighborhood masks for n <= 64 while the polynomial-time algorithms
+// (cliques, triangles) scale beyond that.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace camelot {
+
+class Graph {
+ public:
+  explicit Graph(std::size_t n);
+
+  std::size_t num_vertices() const noexcept { return n_; }
+  std::size_t num_edges() const noexcept { return m_; }
+
+  // Adds {u, v}; self-loops and duplicates are rejected.
+  void add_edge(std::size_t u, std::size_t v);
+  bool has_edge(std::size_t u, std::size_t v) const;
+
+  std::size_t degree(std::size_t v) const;
+
+  // All edges as (u, v) with u < v, lexicographic.
+  std::vector<std::pair<u32, u32>> edges() const;
+
+  // Neighborhood of v as a single 64-bit mask; requires n <= 64.
+  u64 neighbors_mask(std::size_t v) const;
+
+  // True iff the vertex set `mask` (bit i = vertex i) induces no edge;
+  // requires n <= 64.
+  bool is_independent(u64 mask) const;
+
+  // True iff the vertices of `mask` are pairwise adjacent (n <= 64).
+  bool is_clique(u64 mask) const;
+
+  // Number of edges inside the induced subgraph G[mask] (n <= 64).
+  std::size_t edges_within(u64 mask) const;
+
+  // Number of edges between the disjoint sets a and b (n <= 64).
+  std::size_t edges_between(u64 a, u64 b) const;
+
+  // Subgraph induced by the vertices listed in `keep`, relabelled
+  // 0..keep.size()-1 in the given order.
+  Graph induced_subgraph(const std::vector<std::size_t>& keep) const;
+
+  // Number of connected components of the *whole* vertex set when
+  // only the listed edges are present (used by Tutte ground truths).
+  static std::size_t components_with_edges(
+      std::size_t n, const std::vector<std::pair<u32, u32>>& edge_list);
+
+ private:
+  std::size_t n_;
+  std::size_t m_ = 0;
+  std::size_t words_;
+  // adj_[v * words_ + w] holds vertices 64w..64w+63 of N(v).
+  std::vector<u64> adj_;
+};
+
+}  // namespace camelot

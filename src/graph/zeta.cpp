@@ -1,0 +1,54 @@
+#include "graph/zeta.hpp"
+
+#include <stdexcept>
+
+namespace camelot {
+
+namespace {
+
+void check_power_of_two(std::size_t n, const char* what) {
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument(std::string(what) + ": size not 2^n");
+  }
+}
+
+}  // namespace
+
+void zeta_transform(std::vector<u64>& a, const PrimeField& f) {
+  check_power_of_two(a.size(), "zeta_transform");
+  for (std::size_t bit = 1; bit < a.size(); bit <<= 1) {
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      if (s & bit) a[s] = f.add(a[s], a[s ^ bit]);
+    }
+  }
+}
+
+void moebius_transform(std::vector<u64>& a, const PrimeField& f) {
+  check_power_of_two(a.size(), "moebius_transform");
+  for (std::size_t bit = 1; bit < a.size(); bit <<= 1) {
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      if (s & bit) a[s] = f.sub(a[s], a[s ^ bit]);
+    }
+  }
+}
+
+void zeta_transform_strided(std::vector<u64>& a, std::size_t stride,
+                            const PrimeField& f) {
+  if (stride == 0 || a.size() % stride != 0) {
+    throw std::invalid_argument("zeta_transform_strided: bad stride");
+  }
+  const std::size_t slots = a.size() / stride;
+  check_power_of_two(slots, "zeta_transform_strided");
+  for (std::size_t bit = 1; bit < slots; bit <<= 1) {
+    for (std::size_t s = 0; s < slots; ++s) {
+      if ((s & bit) == 0) continue;
+      u64* dst = a.data() + s * stride;
+      const u64* src = a.data() + (s ^ bit) * stride;
+      for (std::size_t i = 0; i < stride; ++i) {
+        dst[i] = f.add(dst[i], src[i]);
+      }
+    }
+  }
+}
+
+}  // namespace camelot

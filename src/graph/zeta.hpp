@@ -1,0 +1,31 @@
+// Fast subset transforms over Z_q.
+//
+// The zeta transform (g(Y) = sum_{X subseteq Y} f(X)) and its Moebius
+// inverse are the "Yates's algorithm" instances the exponential-time
+// Camelot designs lean on (§8-§9: "use Yates's algorithm on g0 to
+// obtain the function g"). They are the k-fold Kronecker power of the
+// 2x2 bases [[1,0],[1,1]] and [[1,0],[-1,1]].
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace camelot {
+
+// In-place zeta transform: a[Y] <- sum_{X subseteq Y} a[X].
+// a.size() must be 2^n for n = ground-set size.
+void zeta_transform(std::vector<u64>& a, const PrimeField& f);
+
+// In-place Moebius transform (inverse of zeta):
+// a[Y] <- sum_{X subseteq Y} (-1)^{|Y \ X|} a[X].
+void moebius_transform(std::vector<u64>& a, const PrimeField& f);
+
+// Generic element version for vector-valued tables: the caller
+// supplies add/sub on table slots of `stride` consecutive u64 each.
+// Used when table entries are truncated polynomials (§7 template).
+void zeta_transform_strided(std::vector<u64>& a, std::size_t stride,
+                            const PrimeField& f);
+
+}  // namespace camelot

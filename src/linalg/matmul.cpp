@@ -1,0 +1,150 @@
+#include "linalg/matmul.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace camelot {
+
+namespace {
+
+void check_conformable(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimensions differ");
+  }
+}
+
+// Inner kernel with lazy reduction for q < 2^32: each product fits in
+// 64 bits, and a 128-bit accumulator absorbs up to 2^64 such terms.
+Matrix classical_small_modulus(const Matrix& a, const Matrix& b,
+                               const PrimeField& f) {
+  Matrix out(a.rows(), b.cols());
+  const std::size_t n = a.rows(), m = a.cols(), l = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      u128 acc = 0;
+      for (std::size_t t = 0; t < m; ++t) {
+        acc += static_cast<u128>(a.at(i, t)) * b.at(t, j);
+      }
+      out.at(i, j) = static_cast<u64>(acc % f.modulus());
+    }
+  }
+  return out;
+}
+
+Matrix classical_large_modulus(const Matrix& a, const Matrix& b,
+                               const PrimeField& f) {
+  Matrix out(a.rows(), b.cols());
+  const std::size_t n = a.rows(), m = a.cols(), l = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      u64 acc = 0;
+      for (std::size_t t = 0; t < m; ++t) {
+        acc = f.add(acc, f.mul(a.at(i, t), b.at(t, j)));
+      }
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix quadrant(const Matrix& a, std::size_t qi, std::size_t qj,
+                std::size_t h) {
+  Matrix out(h, h);
+  const std::size_t i0 = qi * h, j0 = qj * h;
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < h; ++j) {
+      if (i0 + i < a.rows() && j0 + j < a.cols()) {
+        out.at(i, j) = a.at(i0 + i, j0 + j);
+      }
+    }
+  }
+  return out;
+}
+
+void place(Matrix& dst, const Matrix& src, std::size_t qi, std::size_t qj,
+           std::size_t h) {
+  const std::size_t i0 = qi * h, j0 = qj * h;
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < h; ++j) {
+      if (i0 + i < dst.rows() && j0 + j < dst.cols()) {
+        dst.at(i0 + i, j0 + j) = src.at(i, j);
+      }
+    }
+  }
+}
+
+Matrix strassen_rec(const Matrix& a, const Matrix& b, const PrimeField& f,
+                    std::size_t cutoff) {
+  const std::size_t n = a.rows();
+  if (n <= cutoff || a.cols() != n || b.cols() != n) {
+    return matmul_classical(a, b, f);
+  }
+  const std::size_t h = (n + 1) / 2;
+  Matrix a11 = quadrant(a, 0, 0, h), a12 = quadrant(a, 0, 1, h);
+  Matrix a21 = quadrant(a, 1, 0, h), a22 = quadrant(a, 1, 1, h);
+  Matrix b11 = quadrant(b, 0, 0, h), b12 = quadrant(b, 0, 1, h);
+  Matrix b21 = quadrant(b, 1, 0, h), b22 = quadrant(b, 1, 1, h);
+
+  Matrix m1 = strassen_rec(matrix_add(a11, a22, f), matrix_add(b11, b22, f),
+                           f, cutoff);
+  Matrix m2 = strassen_rec(matrix_add(a21, a22, f), b11, f, cutoff);
+  Matrix m3 = strassen_rec(a11, matrix_sub(b12, b22, f), f, cutoff);
+  Matrix m4 = strassen_rec(a22, matrix_sub(b21, b11, f), f, cutoff);
+  Matrix m5 = strassen_rec(matrix_add(a11, a12, f), b22, f, cutoff);
+  Matrix m6 = strassen_rec(matrix_sub(a21, a11, f), matrix_add(b11, b12, f),
+                           f, cutoff);
+  Matrix m7 = strassen_rec(matrix_sub(a12, a22, f), matrix_add(b21, b22, f),
+                           f, cutoff);
+
+  Matrix c11 =
+      matrix_add(matrix_sub(matrix_add(m1, m4, f), m5, f), m7, f);
+  Matrix c12 = matrix_add(m3, m5, f);
+  Matrix c21 = matrix_add(m2, m4, f);
+  Matrix c22 =
+      matrix_add(matrix_add(matrix_sub(m1, m2, f), m3, f), m6, f);
+
+  Matrix out(n, n);
+  place(out, c11, 0, 0, h);
+  place(out, c12, 0, 1, h);
+  place(out, c21, 1, 0, h);
+  place(out, c22, 1, 1, h);
+  return out;
+}
+
+}  // namespace
+
+Matrix matmul_classical(const Matrix& a, const Matrix& b,
+                        const PrimeField& f) {
+  check_conformable(a, b);
+  if (f.modulus() < (u64{1} << 32)) return classical_small_modulus(a, b, f);
+  return classical_large_modulus(a, b, f);
+}
+
+Matrix matmul_strassen(const Matrix& a, const Matrix& b, const PrimeField& f,
+                       std::size_t cutoff) {
+  check_conformable(a, b);
+  if (a.rows() != a.cols() || b.rows() != b.cols()) {
+    // Strassen here targets square inputs; pad to the common size.
+    const std::size_t n = std::max({a.rows(), a.cols(), b.cols()});
+    Matrix c =
+        strassen_rec(a.padded(n, n), b.padded(n, n), f, cutoff);
+    Matrix out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+      for (std::size_t j = 0; j < out.cols(); ++j) {
+        out.at(i, j) = c.at(i, j);
+      }
+    }
+    return out;
+  }
+  return strassen_rec(a, b, f, cutoff);
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b, const PrimeField& f) {
+  check_conformable(a, b);
+  if (a.rows() == a.cols() && b.rows() == b.cols() && a.rows() > 128) {
+    return matmul_strassen(a, b, f);
+  }
+  return matmul_classical(a, b, f);
+}
+
+}  // namespace camelot

@@ -1,0 +1,25 @@
+// Matrix multiplication over Z_q: classical cubic and Strassen.
+//
+// The paper's per-node budgets are all stated in terms of omega, the
+// exponent of matrix multiplication; here omega = log2(7) via Strassen
+// (see DESIGN.md for the substitution note). The classical kernel uses
+// lazy reduction: when q < 2^32 products are accumulated in 128-bit
+// without per-term reduction.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace camelot {
+
+// Classical O(nml) product (a: n x m, b: m x l).
+Matrix matmul_classical(const Matrix& a, const Matrix& b, const PrimeField& f);
+
+// Strassen's recursion with zero-padding to even sizes and a classical
+// base case below `cutoff`. Same result, O(n^{2.81}) operations.
+Matrix matmul_strassen(const Matrix& a, const Matrix& b, const PrimeField& f,
+                       std::size_t cutoff = 64);
+
+// Dispatch: Strassen for large square-ish inputs, classical otherwise.
+Matrix matmul(const Matrix& a, const Matrix& b, const PrimeField& f);
+
+}  // namespace camelot

@@ -1,0 +1,91 @@
+#include "linalg/matrix.hpp"
+
+#include <stdexcept>
+
+namespace camelot {
+
+Matrix Matrix::padded(std::size_t rows, std::size_t cols) const {
+  if (rows < rows_ || cols < cols_) {
+    throw std::invalid_argument("Matrix::padded: target smaller than source");
+  }
+  Matrix out(rows, cols);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.at(i, j) = at(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.at(j, i) = at(i, j);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void check_same_shape(const Matrix& a, const Matrix& b, const char* what) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch");
+  }
+}
+
+}  // namespace
+
+Matrix matrix_add(const Matrix& a, const Matrix& b, const PrimeField& f) {
+  check_same_shape(a, b, "matrix_add");
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    out.data()[i] = f.add(a.data()[i], b.data()[i]);
+  }
+  return out;
+}
+
+Matrix matrix_sub(const Matrix& a, const Matrix& b, const PrimeField& f) {
+  check_same_shape(a, b, "matrix_sub");
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    out.data()[i] = f.sub(a.data()[i], b.data()[i]);
+  }
+  return out;
+}
+
+Matrix matrix_hadamard(const Matrix& a, const Matrix& b, const PrimeField& f) {
+  check_same_shape(a, b, "matrix_hadamard");
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    out.data()[i] = f.mul(a.data()[i], b.data()[i]);
+  }
+  return out;
+}
+
+Matrix matrix_scale(const Matrix& a, u64 s, const PrimeField& f) {
+  Matrix out(a.rows(), a.cols());
+  s = f.reduce(s);
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    out.data()[i] = f.mul(a.data()[i], s);
+  }
+  return out;
+}
+
+u64 matrix_sum(const Matrix& a, const PrimeField& f) {
+  u64 acc = 0;
+  for (u64 v : a.data()) acc = f.add(acc, v);
+  return acc;
+}
+
+u64 matrix_dot(const Matrix& a, const Matrix& b, const PrimeField& f) {
+  check_same_shape(a, b, "matrix_dot");
+  u64 acc = 0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    acc = f.add(acc, f.mul(a.data()[i], b.data()[i]));
+  }
+  return acc;
+}
+
+}  // namespace camelot

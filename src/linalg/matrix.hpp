@@ -1,0 +1,60 @@
+// Dense matrices over Z_q.
+//
+// Row-major storage of raw field elements; all operations take the
+// field explicitly. Matrices are the working set of the clique /
+// triangle / Tutte algorithms (§4-§6, §10).
+#pragma once
+
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace camelot {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  u64& at(std::size_t i, std::size_t j) noexcept {
+    return data_[i * cols_ + j];
+  }
+  u64 at(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * cols_ + j];
+  }
+
+  std::vector<u64>& data() noexcept { return data_; }
+  const std::vector<u64>& data() const noexcept { return data_; }
+
+  bool operator==(const Matrix& o) const noexcept {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  // Zero-pads to a larger shape (top-left embedding); used to round
+  // instance sizes up to the power-of-two shapes the Kronecker-power
+  // tensor machinery needs (§5.3: "pad with zeros").
+  Matrix padded(std::size_t rows, std::size_t cols) const;
+
+  Matrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<u64> data_;
+};
+
+Matrix matrix_add(const Matrix& a, const Matrix& b, const PrimeField& f);
+Matrix matrix_sub(const Matrix& a, const Matrix& b, const PrimeField& f);
+// Hadamard (entrywise) product — the chi-masking step of eq. (15).
+Matrix matrix_hadamard(const Matrix& a, const Matrix& b, const PrimeField& f);
+Matrix matrix_scale(const Matrix& a, u64 s, const PrimeField& f);
+// Sum of all entries.
+u64 matrix_sum(const Matrix& a, const PrimeField& f);
+// sum_ij a_ij * b_ij — the final contraction of eq. (12)/(16).
+u64 matrix_dot(const Matrix& a, const Matrix& b, const PrimeField& f);
+
+}  // namespace camelot

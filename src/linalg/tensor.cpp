@@ -1,0 +1,227 @@
+#include "linalg/tensor.hpp"
+
+#include <stdexcept>
+
+#include "yates/yates.hpp"
+
+namespace camelot {
+
+u64 interleave_pair_index(u64 a, u64 b, std::size_t n0, unsigned t) {
+  u64 out = 0;
+  for (unsigned j = 0; j < t; ++j) {
+    const u64 div = ipow(n0, t - 1 - j);
+    const u64 ad = (a / div) % n0;
+    const u64 bd = (b / div) % n0;
+    out = out * (n0 * n0) + (ad * n0 + bd);
+  }
+  return out;
+}
+
+unsigned kronecker_exponent(std::size_t n0, std::size_t n) {
+  if (n0 < 2) throw std::invalid_argument("kronecker_exponent: n0 < 2");
+  unsigned t = 0;
+  while (ipow(n0, t) < n) ++t;
+  return t;
+}
+
+namespace {
+
+std::vector<u64> table_mod(const std::vector<i64>& t, const PrimeField& f) {
+  std::vector<u64> out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) out[i] = f.from_signed(t[i]);
+  return out;
+}
+
+}  // namespace
+
+bool TrilinearDecomposition::verify() const {
+  const std::size_t n = n0;
+  if (alpha.size() != n * n * rank || beta.size() != n * n * rank ||
+      gamma.size() != n * n * rank) {
+    return false;
+  }
+  for (std::size_t d1 = 0; d1 < n; ++d1) {
+    for (std::size_t e1 = 0; e1 < n; ++e1) {
+      for (std::size_t e2 = 0; e2 < n; ++e2) {
+        for (std::size_t f2 = 0; f2 < n; ++f2) {
+          for (std::size_t d3 = 0; d3 < n; ++d3) {
+            for (std::size_t f3 = 0; f3 < n; ++f3) {
+              i64 sum = 0;
+              for (std::size_t r = 0; r < rank; ++r) {
+                sum += alpha[(d1 * n + e1) * rank + r] *
+                       beta[(e2 * n + f2) * rank + r] *
+                       gamma[(d3 * n + f3) * rank + r];
+              }
+              const i64 expect = (d1 == d3 && e1 == e2 && f2 == f3) ? 1 : 0;
+              if (sum != expect) return false;
+            }
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<u64> TrilinearDecomposition::alpha_mod(const PrimeField& f) const {
+  return table_mod(alpha, f);
+}
+std::vector<u64> TrilinearDecomposition::beta_mod(const PrimeField& f) const {
+  return table_mod(beta, f);
+}
+std::vector<u64> TrilinearDecomposition::gamma_mod(const PrimeField& f) const {
+  return table_mod(gamma, f);
+}
+
+namespace {
+
+u64 power_coeff(const std::vector<i64>& table, std::size_t n0,
+                std::size_t rank, u64 a, u64 b, u64 r, unsigned t,
+                const PrimeField& f) {
+  u64 w = f.one();
+  for (unsigned j = 0; j < t; ++j) {
+    const u64 nd = ipow(n0, t - 1 - j);
+    const u64 rd = ipow(rank, t - 1 - j);
+    const u64 ad = (a / nd) % n0;
+    const u64 bd = (b / nd) % n0;
+    const u64 rj = (r / rd) % rank;
+    w = f.mul(w, f.from_signed(table[(ad * n0 + bd) * rank + rj]));
+    if (w == 0) break;
+  }
+  return w;
+}
+
+}  // namespace
+
+u64 TrilinearDecomposition::alpha_power(u64 d, u64 e, u64 r, unsigned t,
+                                        const PrimeField& f) const {
+  return power_coeff(alpha, n0, rank, d, e, r, t, f);
+}
+u64 TrilinearDecomposition::beta_power(u64 e, u64 fi, u64 r, unsigned t,
+                                       const PrimeField& f) const {
+  return power_coeff(beta, n0, rank, e, fi, r, t, f);
+}
+u64 TrilinearDecomposition::gamma_power(u64 d, u64 fi, u64 r, unsigned t,
+                                        const PrimeField& f) const {
+  return power_coeff(gamma, n0, rank, d, fi, r, t, f);
+}
+
+TrilinearDecomposition naive_decomposition(std::size_t n0) {
+  TrilinearDecomposition dec;
+  dec.n0 = n0;
+  dec.rank = n0 * n0 * n0;
+  dec.alpha.assign(n0 * n0 * dec.rank, 0);
+  dec.beta.assign(n0 * n0 * dec.rank, 0);
+  dec.gamma.assign(n0 * n0 * dec.rank, 0);
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < n0; ++i) {
+    for (std::size_t j = 0; j < n0; ++j) {
+      for (std::size_t k = 0; k < n0; ++k) {
+        dec.alpha[(i * n0 + j) * dec.rank + r] = 1;
+        dec.beta[(j * n0 + k) * dec.rank + r] = 1;
+        dec.gamma[(i * n0 + k) * dec.rank + r] = 1;
+        ++r;
+      }
+    }
+  }
+  return dec;
+}
+
+TrilinearDecomposition strassen_decomposition() {
+  TrilinearDecomposition dec;
+  dec.n0 = 2;
+  dec.rank = 7;
+  dec.alpha.assign(4 * 7, 0);
+  dec.beta.assign(4 * 7, 0);
+  dec.gamma.assign(4 * 7, 0);
+  auto set = [](std::vector<i64>& t, std::size_t row, std::size_t r, i64 v) {
+    t[row * 7 + r] = v;
+  };
+  // Rows are (d,e) -> d*2+e with 0-based indices; M_{r+1} per Strassen.
+  // alpha: coefficients of a_{de}.
+  set(dec.alpha, 0b00, 0, 1);  // M1 = (a11+a22)(...)
+  set(dec.alpha, 0b11, 0, 1);
+  set(dec.alpha, 0b10, 1, 1);  // M2 = (a21+a22) b11
+  set(dec.alpha, 0b11, 1, 1);
+  set(dec.alpha, 0b00, 2, 1);  // M3 = a11 (b12-b22)
+  set(dec.alpha, 0b11, 3, 1);  // M4 = a22 (b21-b11)
+  set(dec.alpha, 0b00, 4, 1);  // M5 = (a11+a12) b22
+  set(dec.alpha, 0b01, 4, 1);
+  set(dec.alpha, 0b10, 5, 1);  // M6 = (a21-a11)(b11+b12)
+  set(dec.alpha, 0b00, 5, -1);
+  set(dec.alpha, 0b01, 6, 1);  // M7 = (a12-a22)(b21+b22)
+  set(dec.alpha, 0b11, 6, -1);
+  // beta: coefficients of b_{ef}.
+  set(dec.beta, 0b00, 0, 1);
+  set(dec.beta, 0b11, 0, 1);
+  set(dec.beta, 0b00, 1, 1);
+  set(dec.beta, 0b01, 2, 1);
+  set(dec.beta, 0b11, 2, -1);
+  set(dec.beta, 0b10, 3, 1);
+  set(dec.beta, 0b00, 3, -1);
+  set(dec.beta, 0b11, 4, 1);
+  set(dec.beta, 0b00, 5, 1);
+  set(dec.beta, 0b01, 5, 1);
+  set(dec.beta, 0b10, 6, 1);
+  set(dec.beta, 0b11, 6, 1);
+  // gamma in the paper's (d,f) convention: coefficient of w_df where
+  // w_df = c_fd of the classical C = AB recombination.
+  set(dec.gamma, 0b00, 0, 1);  // M1 -> C11, C22
+  set(dec.gamma, 0b11, 0, 1);
+  set(dec.gamma, 0b10, 1, 1);  // M2 -> C21, -C22
+  set(dec.gamma, 0b11, 1, -1);
+  set(dec.gamma, 0b01, 2, 1);  // M3 -> C12, C22
+  set(dec.gamma, 0b11, 2, 1);
+  set(dec.gamma, 0b00, 3, 1);  // M4 -> C11, C21
+  set(dec.gamma, 0b10, 3, 1);
+  set(dec.gamma, 0b00, 4, -1);  // M5 -> -C11, C12
+  set(dec.gamma, 0b01, 4, 1);
+  set(dec.gamma, 0b11, 5, 1);  // M6 -> C22
+  set(dec.gamma, 0b00, 6, 1);  // M7 -> C11
+  return dec;
+}
+
+Matrix matmul_via_decomposition(const Matrix& a, const Matrix& b,
+                                const TrilinearDecomposition& dec, unsigned t,
+                                const PrimeField& f) {
+  const u64 n = ipow(dec.n0, t);
+  if (a.rows() != n || a.cols() != n || b.rows() != n || b.cols() != n) {
+    throw std::invalid_argument("matmul_via_decomposition: size != n0^t");
+  }
+  const std::size_t nn = dec.n0 * dec.n0;
+  // Transposed tables map (d,e)-indexed vectors to r-indexed vectors.
+  std::vector<u64> alpha_t(nn * dec.rank), beta_t(nn * dec.rank);
+  const std::vector<u64> alpha = dec.alpha_mod(f);
+  const std::vector<u64> beta = dec.beta_mod(f);
+  const std::vector<u64> gamma = dec.gamma_mod(f);
+  for (std::size_t p = 0; p < nn; ++p) {
+    for (std::size_t r = 0; r < dec.rank; ++r) {
+      alpha_t[r * nn + p] = alpha[p * dec.rank + r];
+      beta_t[r * nn + p] = beta[p * dec.rank + r];
+    }
+  }
+  // Digit-interleaved vectorizations of A and B.
+  std::vector<u64> va(ipow(nn, t), 0), vb(ipow(nn, t), 0);
+  for (u64 i = 0; i < n; ++i) {
+    for (u64 j = 0; j < n; ++j) {
+      const u64 idx = interleave_pair_index(i, j, dec.n0, t);
+      va[idx] = a.at(i, j);
+      vb[idx] = b.at(i, j);
+    }
+  }
+  // A_r = sum alpha_de(r) a_de and B_r likewise (Yates, transposed).
+  std::vector<u64> ar = yates_apply(f, alpha_t, dec.rank, nn, va, t);
+  std::vector<u64> br = yates_apply(f, beta_t, dec.rank, nn, vb, t);
+  for (std::size_t r = 0; r < ar.size(); ++r) ar[r] = f.mul(ar[r], br[r]);
+  // C_df = sum_r gamma_df(r) A_r B_r (Yates, forward).
+  std::vector<u64> vc = yates_apply(f, gamma, nn, dec.rank, ar, t);
+  Matrix c(n, n);
+  for (u64 i = 0; i < n; ++i) {
+    for (u64 j = 0; j < n; ++j) {
+      c.at(i, j) = vc[interleave_pair_index(i, j, dec.n0, t)];
+    }
+  }
+  return c;
+}
+
+}  // namespace camelot

@@ -1,0 +1,76 @@
+// Explicit trilinear decompositions of the matrix multiplication
+// tensor <n0,n0,n0> in the paper's convention (eq. (10)):
+//
+//   sum_{d,e,f} u_de v_ef w_df
+//     = sum_{r=1}^{R} (sum_{d,e'} alpha_de'(r) u_de')
+//                     (sum_{e,f'} beta_ef'(r)  v_ef')
+//                     (sum_{d',f} gamma_d'f(r) w_d'f).
+//
+// Tensor rank is submultiplicative under Kronecker products, so the
+// t-fold power of a rank-R0 base decomposes <n0^t> with rank R0^t and
+// coefficients of the product form (17)/(20):
+//   alpha_de(r) = prod_j alpha0_{d_j e_j}(r_j).
+// The clique and triangle proof polynomials are built directly on
+// this structure.
+#pragma once
+
+#include <vector>
+
+#include "field/field.hpp"
+#include "linalg/matrix.hpp"
+
+namespace camelot {
+
+struct TrilinearDecomposition {
+  std::size_t n0 = 0;    // base matrix dimension
+  std::size_t rank = 0;  // R0
+  // Integer coefficient tables, row-major (n0*n0) x rank:
+  //   alpha[(d*n0+e)*rank + r], beta[(e*n0+f)*rank + r],
+  //   gamma[(d*n0+f)*rank + r].
+  std::vector<i64> alpha, beta, gamma;
+
+  // Checks the defining identity exactly over the integers:
+  // sum_r alpha_{d1e1}(r) beta_{e2f2}(r) gamma_{d3f3}(r)
+  //   == [d1==d3][e1==e2][f2==f3]  for all six indices.
+  bool verify() const;
+
+  // Coefficient tables reduced into a field (alpha as an (n0^2 x R0)
+  // row-major u64 table, etc.), ready for Yates.
+  std::vector<u64> alpha_mod(const PrimeField& f) const;
+  std::vector<u64> beta_mod(const PrimeField& f) const;
+  std::vector<u64> gamma_mod(const PrimeField& f) const;
+
+  // Single Kronecker-power coefficient alpha_de(r) over Z_q for the
+  // t-fold power (indices in [n0^t], r in [R0^t], digits MSB-first).
+  u64 alpha_power(u64 d, u64 e, u64 r, unsigned t, const PrimeField& f) const;
+  u64 beta_power(u64 e, u64 fi, u64 r, unsigned t, const PrimeField& f) const;
+  u64 gamma_power(u64 d, u64 fi, u64 r, unsigned t,
+                  const PrimeField& f) const;
+};
+
+// Index whose base-(n0^2) digits are the pairs (a_j, b_j) of the
+// base-n0 digits of a and b (MSB-first): the row indexing of the
+// Kronecker power of an (n0^2 x R0) coefficient table. Needed to read
+// Yates outputs back as (d,e)-indexed matrices.
+u64 interleave_pair_index(u64 a, u64 b, std::size_t n0, unsigned t);
+
+// Smallest t with n0^t >= n (how many Kronecker factors are needed to
+// cover an n x n instance).
+unsigned kronecker_exponent(std::size_t n0, std::size_t n);
+
+// Rank n0^3 "naive" decomposition (one term per (i,j,k) triple).
+TrilinearDecomposition naive_decomposition(std::size_t n0);
+
+// Strassen's rank-7 decomposition of <2,2,2> (omega = log2 7).
+TrilinearDecomposition strassen_decomposition();
+
+// Multiplies two n0^t x n0^t matrices over Z_q via the t-fold
+// Kronecker power of the decomposition: three Yates transforms plus
+// R0^t pointwise products. Differentially tests the tensor machinery
+// and realizes the "fast matrix multiplication" the proof-polynomial
+// constructions assume.
+Matrix matmul_via_decomposition(const Matrix& a, const Matrix& b,
+                                const TrilinearDecomposition& dec, unsigned t,
+                                const PrimeField& f);
+
+}  // namespace camelot

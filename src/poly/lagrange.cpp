@@ -1,0 +1,58 @@
+#include "poly/lagrange.hpp"
+
+#include <stdexcept>
+
+namespace camelot {
+
+std::vector<u64> lagrange_basis_consecutive(u64 start, std::size_t count,
+                                            u64 x0, const PrimeField& f) {
+  if (count == 0) throw std::invalid_argument("lagrange_basis: empty");
+  if (count >= f.modulus()) {
+    throw std::invalid_argument("lagrange_basis: more nodes than field");
+  }
+  std::vector<u64> out(count, 0);
+  x0 = f.reduce(x0);
+  // Node values mod q; detect x0 hitting a node.
+  std::vector<u64> diff(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const u64 node = f.reduce(f.add(f.reduce(start), f.reduce(i)));
+    diff[i] = f.sub(x0, node);
+    if (diff[i] == 0) {
+      out[i] = f.one();
+      return out;  // basis collapses to an indicator
+    }
+  }
+  // Gamma = prod_i (x0 - node_i).
+  u64 gamma = f.one();
+  for (u64 d : diff) gamma = f.mul(gamma, d);
+  // Factorials F_0..F_{count-1}.
+  std::vector<u64> fact(count);
+  fact[0] = f.one();
+  for (std::size_t i = 1; i < count; ++i) {
+    fact[i] = f.mul(fact[i - 1], f.reduce(i));
+  }
+  // Denominators: (-1)^{count-1-i} * i! * (count-1-i)! * (x0 - node_i).
+  std::vector<u64> denom(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    u64 d = f.mul(fact[i], fact[count - 1 - i]);
+    d = f.mul(d, diff[i]);
+    if ((count - 1 - i) % 2 == 1) d = f.neg(d);
+    denom[i] = d;
+  }
+  std::vector<u64> inv = f.batch_inv(denom);
+  for (std::size_t i = 0; i < count; ++i) out[i] = f.mul(gamma, inv[i]);
+  return out;
+}
+
+u64 lagrange_eval_consecutive(u64 start, std::span<const u64> values, u64 x0,
+                              const PrimeField& f) {
+  std::vector<u64> basis =
+      lagrange_basis_consecutive(start, values.size(), x0, f);
+  u64 acc = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    acc = f.add(acc, f.mul(basis[i], f.reduce(values[i])));
+  }
+  return acc;
+}
+
+}  // namespace camelot

@@ -1,0 +1,32 @@
+// Lagrange interpolation over consecutive integer nodes — the
+// "factorial trick" of paper §5.3 / §3.3:
+//
+//   Lambda_r(x0) = Gamma(x0) / ((-1)^{R-r} F_{r-1} F_{R-r} (x0 - r)),
+//   Gamma(x0) = prod_{j=1}^{R} (x0 - j),  F_j = j!.
+//
+// computes all R Lagrange basis values at a point in O(R) operations,
+// which is what lets a Camelot node expand interpolated tensor
+// coefficients (eq. (14)) or outer-loop selectors (eq. (6)) cheaply.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace camelot {
+
+// Basis values L_i(x0), i = 0..count-1, for the nodes
+// start, start+1, ..., start+count-1 (as field elements).
+// L_i is 1 at node start+i and 0 at the other nodes.
+// Works for any x0 (including x0 equal to one of the nodes) provided
+// count <= q, so the nodes are distinct mod q.
+std::vector<u64> lagrange_basis_consecutive(u64 start, std::size_t count,
+                                            u64 x0, const PrimeField& f);
+
+// Value at x0 of the unique degree-<count interpolant through
+// (start+i, values[i]). O(count) after the basis computation.
+u64 lagrange_eval_consecutive(u64 start, std::span<const u64> values, u64 x0,
+                              const PrimeField& f);
+
+}  // namespace camelot

@@ -1,0 +1,128 @@
+#include "poly/multipoint.hpp"
+
+#include <stdexcept>
+
+namespace camelot {
+
+SubproductTree::SubproductTree(std::span<const u64> points,
+                               const PrimeField& f)
+    : points_(points.begin(), points.end()) {
+  if (points_.empty()) {
+    throw std::invalid_argument("SubproductTree: no points");
+  }
+  for (u64& x : points_) x = f.reduce(x);
+  std::vector<Poly> level;
+  level.reserve(points_.size());
+  for (u64 x : points_) level.push_back(Poly::linear_root(x, f));
+  levels_.push_back(std::move(level));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Poly> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      if (i + 1 < prev.size()) {
+        next.push_back(poly_mul(prev[i], prev[i + 1], f));
+      } else {
+        next.push_back(prev[i]);  // odd node carried up unchanged
+      }
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+const Poly& SubproductTree::root() const { return levels_.back()[0]; }
+
+void SubproductTree::eval_rec(const Poly& p, std::size_t level,
+                              std::size_t idx, std::size_t lo, std::size_t hi,
+                              const PrimeField& f,
+                              std::vector<u64>& out) const {
+  if (level == 0) {
+    // p is already reduced mod (x - x_lo), i.e. it is the value.
+    out[lo] = p.coeff(0);
+    return;
+  }
+  const std::size_t span = std::size_t{1} << (level - 1);
+  const std::size_t mid = std::min(hi, lo + span);
+  const auto& child_level = levels_[level - 1];
+  const std::size_t left = 2 * idx;
+  const std::size_t right = 2 * idx + 1;
+  if (right >= child_level.size()) {
+    // Single-child node: polynomial is identical, just descend.
+    eval_rec(p, level - 1, left, lo, hi, f, out);
+    return;
+  }
+  Poly pl = p.degree() >= child_level[left].degree()
+                ? poly_rem(p, child_level[left], f)
+                : p;
+  Poly pr = p.degree() >= child_level[right].degree()
+                ? poly_rem(p, child_level[right], f)
+                : p;
+  eval_rec(pl, level - 1, left, lo, mid, f, out);
+  eval_rec(pr, level - 1, right, mid, hi, f, out);
+}
+
+std::vector<u64> SubproductTree::evaluate(const Poly& p,
+                                          const PrimeField& f) const {
+  std::vector<u64> out(points_.size(), 0);
+  Poly reduced = p;
+  if (reduced.degree() >= root().degree()) {
+    reduced = poly_rem(reduced, root(), f);
+  }
+  eval_rec(reduced, levels_.size() - 1, 0, 0, points_.size(), f, out);
+  return out;
+}
+
+Poly SubproductTree::interp_rec(std::span<const u64> weighted,
+                                std::size_t level, std::size_t idx,
+                                std::size_t lo, std::size_t hi,
+                                const PrimeField& f) const {
+  if (level == 0) {
+    Poly p;
+    if (weighted[lo] != 0) p.c.push_back(weighted[lo]);
+    return p;
+  }
+  const std::size_t span = std::size_t{1} << (level - 1);
+  const std::size_t mid = std::min(hi, lo + span);
+  const auto& child_level = levels_[level - 1];
+  const std::size_t left = 2 * idx;
+  const std::size_t right = 2 * idx + 1;
+  if (right >= child_level.size()) {
+    return interp_rec(weighted, level - 1, left, lo, hi, f);
+  }
+  Poly pl = interp_rec(weighted, level - 1, left, lo, mid, f);
+  Poly pr = interp_rec(weighted, level - 1, right, mid, hi, f);
+  return poly_add(poly_mul(pl, child_level[right], f),
+                  poly_mul(pr, child_level[left], f), f);
+}
+
+Poly SubproductTree::interpolate(std::span<const u64> values,
+                                 const PrimeField& f) const {
+  if (values.size() != points_.size()) {
+    throw std::invalid_argument("SubproductTree::interpolate: size mismatch");
+  }
+  // Lagrange weights s_i = y_i / m'(x_i) where m = prod (x - x_j).
+  const Poly dm = poly_derivative(root(), f);
+  std::vector<u64> denom = evaluate(dm, f);
+  std::vector<u64> inv_denom = f.batch_inv(denom);
+  std::vector<u64> weighted(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weighted[i] = f.mul(f.reduce(values[i]), inv_denom[i]);
+  }
+  Poly p = interp_rec(weighted, levels_.size() - 1, 0, 0, points_.size(), f);
+  p.trim();
+  return p;
+}
+
+std::vector<u64> multipoint_evaluate(const Poly& p, std::span<const u64> xs,
+                                     const PrimeField& f) {
+  SubproductTree tree(xs, f);
+  return tree.evaluate(p, f);
+}
+
+Poly interpolate(std::span<const u64> xs, std::span<const u64> ys,
+                 const PrimeField& f) {
+  SubproductTree tree(xs, f);
+  return tree.interpolate(ys, f);
+}
+
+}  // namespace camelot

@@ -1,0 +1,54 @@
+// Fast multipoint evaluation and interpolation via subproduct trees
+// (paper §2.2: both maps in O(d log^2 d) field operations).
+//
+// These drive Reed--Solomon encoding/decoding (§2.3) and the
+// Convolution3SUM evaluator (§A.4), which needs t polynomials reduced
+// against the same set of shifted points.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "poly/poly.hpp"
+
+namespace camelot {
+
+// Subproduct tree over a point set: node (level, i) stores the product
+// of (x - x_j) over the points in its subtree. Built once, shared by
+// any number of evaluations/interpolations against the same points.
+class SubproductTree {
+ public:
+  SubproductTree(std::span<const u64> points, const PrimeField& f);
+
+  std::size_t num_points() const noexcept { return points_.size(); }
+  const std::vector<u64>& points() const noexcept { return points_; }
+  // Root polynomial prod_i (x - x_i).
+  const Poly& root() const;
+
+  // Evaluates p at every point (going-down-the-tree remaindering).
+  std::vector<u64> evaluate(const Poly& p, const PrimeField& f) const;
+
+  // Unique polynomial of degree < n with P(x_i) = values[i].
+  Poly interpolate(std::span<const u64> values, const PrimeField& f) const;
+
+ private:
+  // levels_[0] = leaves (x - x_i); levels_.back() = {root}.
+  std::vector<std::vector<Poly>> levels_;
+  std::vector<u64> points_;
+
+  void eval_rec(const Poly& p, std::size_t level, std::size_t idx,
+                std::size_t lo, std::size_t hi, const PrimeField& f,
+                std::vector<u64>& out) const;
+  Poly interp_rec(std::span<const u64> weighted, std::size_t level,
+                  std::size_t idx, std::size_t lo, std::size_t hi,
+                  const PrimeField& f) const;
+};
+
+// Convenience one-shot wrappers.
+std::vector<u64> multipoint_evaluate(const Poly& p, std::span<const u64> xs,
+                                     const PrimeField& f);
+Poly interpolate(std::span<const u64> xs, std::span<const u64> ys,
+                 const PrimeField& f);
+
+}  // namespace camelot

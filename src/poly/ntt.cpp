@@ -1,0 +1,80 @@
+#include "poly/ntt.hpp"
+
+#include <stdexcept>
+
+namespace camelot {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+int log2_exact(std::size_t n) {
+  int k = 0;
+  while ((std::size_t{1} << k) < n) ++k;
+  return k;
+}
+
+}  // namespace
+
+bool ntt_supports_size(const PrimeField& f, std::size_t result_size) {
+  const std::size_t n = next_pow2(result_size);
+  return log2_exact(n) <= f.two_adicity() && n < f.modulus();
+}
+
+void ntt_inplace(std::vector<u64>& a, bool inverse, const PrimeField& f) {
+  const std::size_t n = a.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("ntt_inplace: size must be a power of two");
+  }
+  const int lg = log2_exact(n);
+  if (lg > f.two_adicity()) {
+    throw std::invalid_argument("ntt_inplace: field two-adicity too small");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    u64 wlen = f.root_of_unity(log2_exact(len));
+    if (inverse) wlen = f.inv(wlen);
+    for (std::size_t i = 0; i < n; i += len) {
+      u64 w = 1;
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const u64 u = a[i + j];
+        const u64 v = f.mul(a[i + j + len / 2], w);
+        a[i + j] = f.add(u, v);
+        a[i + j + len / 2] = f.sub(u, v);
+        w = f.mul(w, wlen);
+      }
+    }
+  }
+  if (inverse) {
+    const u64 n_inv = f.inv(f.reduce(n));
+    for (u64& v : a) v = f.mul(v, n_inv);
+  }
+}
+
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const PrimeField& f) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out);
+  std::vector<u64> fa(a.begin(), a.end()), fb(b.begin(), b.end());
+  fa.resize(n, 0);
+  fb.resize(n, 0);
+  ntt_inplace(fa, false, f);
+  ntt_inplace(fb, false, f);
+  for (std::size_t i = 0; i < n; ++i) fa[i] = f.mul(fa[i], fb[i]);
+  ntt_inplace(fa, true, f);
+  fa.resize(out);
+  return fa;
+}
+
+}  // namespace camelot

@@ -1,0 +1,29 @@
+// Number-theoretic transform over NTT-friendly prime fields.
+//
+// The framework always selects proof moduli of the form q = c*2^a + 1
+// (see core/prime_plan.hpp) so that the O(d log d) polynomial
+// multiplication promised in paper §2.2 is available for encoding,
+// decoding and interpolation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace camelot {
+
+// True iff the field supports transforms long enough to multiply
+// polynomials with `result_size` output coefficients.
+bool ntt_supports_size(const PrimeField& f, std::size_t result_size);
+
+// In-place radix-2 NTT of a power-of-two-sized vector.
+// If inverse, applies the inverse transform including the 1/n factor.
+void ntt_inplace(std::vector<u64>& a, bool inverse, const PrimeField& f);
+
+// Cyclic-free convolution (polynomial product) of two coefficient
+// vectors. Returns a.size()+b.size()-1 coefficients.
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const PrimeField& f);
+
+}  // namespace camelot

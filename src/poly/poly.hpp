@@ -1,0 +1,80 @@
+// Univariate polynomials over Z_q (paper §2.2, "fast arithmetic
+// toolbox" of von zur Gathen & Gerhard).
+//
+// A Poly is a coefficient vector c[0..] with c[i] the coefficient of
+// x^i; the zero polynomial is the empty vector. All operations take
+// the field explicitly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace camelot {
+
+struct Poly {
+  std::vector<u64> c;
+
+  Poly() = default;
+  explicit Poly(std::vector<u64> coeffs) : c(std::move(coeffs)) {}
+
+  bool is_zero() const noexcept { return c.empty(); }
+  // Degree of the zero polynomial is reported as -1.
+  int degree() const noexcept { return static_cast<int>(c.size()) - 1; }
+  u64 coeff(std::size_t i) const noexcept { return i < c.size() ? c[i] : 0; }
+
+  // Drops trailing zero coefficients (canonical form).
+  void trim() {
+    while (!c.empty() && c.back() == 0) c.pop_back();
+  }
+
+  static Poly zero() { return Poly{}; }
+  static Poly constant(u64 v, const PrimeField& f);
+  // x - a.
+  static Poly linear_root(u64 a, const PrimeField& f);
+};
+
+Poly poly_add(const Poly& a, const Poly& b, const PrimeField& f);
+Poly poly_sub(const Poly& a, const Poly& b, const PrimeField& f);
+Poly poly_scale(const Poly& a, u64 s, const PrimeField& f);
+
+// Product. Dispatches schoolbook / Karatsuba / NTT by size and by
+// whether the field supports a large enough transform.
+Poly poly_mul(const Poly& a, const Poly& b, const PrimeField& f);
+
+// Quadratic-time product (kept public for differential testing).
+Poly poly_mul_schoolbook(const Poly& a, const Poly& b, const PrimeField& f);
+
+// Karatsuba product (public for differential testing).
+Poly poly_mul_karatsuba(const Poly& a, const Poly& b, const PrimeField& f);
+
+// Euclidean division: a = q*b + r with deg r < deg b. Requires b != 0.
+void poly_divrem(const Poly& a, const Poly& b, const PrimeField& f, Poly* q,
+                 Poly* r);
+Poly poly_rem(const Poly& a, const Poly& b, const PrimeField& f);
+
+// Monic greatest common divisor.
+Poly poly_gcd(Poly a, Poly b, const PrimeField& f);
+
+// Partial extended Euclidean algorithm, the key step of the Gao
+// decoder (§2.3): runs the remainder sequence on (a, b) and stops as
+// soon as the remainder g has degree < stop_degree, returning g and
+// the cofactors u, v with u*a + v*b = g.
+void poly_xgcd_partial(const Poly& a, const Poly& b, int stop_degree,
+                       const PrimeField& f, Poly* g, Poly* u, Poly* v);
+
+// Horner evaluation at a point.
+u64 poly_eval(const Poly& p, u64 x0, const PrimeField& f);
+
+// Evaluation at many points by repeated Horner (O(n*d); the fast
+// product-tree version lives in multipoint.hpp).
+std::vector<u64> poly_eval_many(const Poly& p, std::span<const u64> xs,
+                                const PrimeField& f);
+
+// Formal derivative.
+Poly poly_derivative(const Poly& p, const PrimeField& f);
+
+bool poly_equal(const Poly& a, const Poly& b);
+
+}  // namespace camelot

@@ -1,0 +1,52 @@
+#include "rs/gao.hpp"
+
+namespace camelot {
+
+GaoResult gao_decode(const ReedSolomonCode& code,
+                     std::span<const u64> received) {
+  GaoResult out;
+  const PrimeField& f = code.field();
+  const std::size_t e = code.length();
+  const std::size_t d = code.degree_bound();
+
+  const Poly& g0 = code.locator_product();
+  Poly g1 = code.interpolate_received(received);
+
+  // The received word is itself a codeword (in particular the all-zero
+  // word, which degenerates the Euclidean remainder sequence).
+  if (g1.degree() <= static_cast<int>(d)) {
+    out.status = DecodeStatus::kOk;
+    out.message = g1;
+    out.corrected.assign(received.begin(), received.end());
+    for (u64& v : out.corrected) v = f.reduce(v);
+    return out;
+  }
+
+  // Stop when deg G < (e + d + 1) / 2.
+  const int stop = static_cast<int>((e + d + 1) / 2);
+  Poly g, u, v;
+  poly_xgcd_partial(g0, g1, stop, f, &g, &u, &v);
+
+  Poly p, r;
+  if (v.is_zero()) return out;
+  poly_divrem(g, v, f, &p, &r);
+  if (!r.is_zero() || p.degree() > static_cast<int>(d)) {
+    return out;  // decoding failure: too many errors
+  }
+
+  out.status = DecodeStatus::kOk;
+  out.message = p;
+  out.corrected = code.evaluate_at_points(p);
+  for (std::size_t i = 0; i < e; ++i) {
+    if (out.corrected[i] != f.reduce(received[i])) {
+      out.error_locations.push_back(i);
+    }
+  }
+  // A "successful" decode that corrected more symbols than the unique
+  // decoding radius can only arise from a received word that lies
+  // within radius of a *different* codeword; report it as-is (the
+  // caller's verification step (eq. (2)) is the final authority).
+  return out;
+}
+
+}  // namespace camelot

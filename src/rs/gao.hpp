@@ -1,0 +1,41 @@
+// Gao's Reed--Solomon decoder (paper §2.3, [17]).
+//
+// Given a received word, interpolate G1 through it, run the extended
+// Euclidean algorithm on (G0, G1) stopping when the remainder G drops
+// below degree (e + d + 1) / 2, and divide G by the cofactor V:
+// if the division is exact and deg P <= d, P is the message.
+//
+// The decoder also reports *error locations* — exactly the mechanism
+// the paper uses to let every node "identify the nodes that did not
+// properly participate in the community effort" (§1.3, step 2).
+#pragma once
+
+#include <vector>
+
+#include "rs/reed_solomon.hpp"
+
+namespace camelot {
+
+enum class DecodeStatus {
+  kOk,             // message recovered (possibly after correcting errors)
+  kDecodeFailure,  // more errors than the unique-decoding radius
+};
+
+struct GaoResult {
+  DecodeStatus status = DecodeStatus::kDecodeFailure;
+  // Message polynomial (proof coefficients p_0..p_d), valid iff kOk.
+  Poly message;
+  // Indices into the point array where the received word differed from
+  // the re-encoded message, valid iff kOk.
+  std::vector<std::size_t> error_locations;
+  // The corrected codeword, valid iff kOk.
+  std::vector<u64> corrected;
+};
+
+// Decodes `received` (length e) against the code. Runs in
+// O(e log^2 e) operations for the interpolation plus the classical
+// O(e^2) remainder sequence.
+GaoResult gao_decode(const ReedSolomonCode& code,
+                     std::span<const u64> received);
+
+}  // namespace camelot

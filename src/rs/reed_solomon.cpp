@@ -1,0 +1,61 @@
+#include "rs/reed_solomon.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace camelot {
+
+namespace {
+
+std::vector<u64> default_points(std::size_t e, const PrimeField& f) {
+  if (e >= f.modulus()) {
+    throw std::invalid_argument("ReedSolomonCode: length exceeds field size");
+  }
+  std::vector<u64> pts(e);
+  std::iota(pts.begin(), pts.end(), u64{1});
+  return pts;
+}
+
+}  // namespace
+
+ReedSolomonCode::ReedSolomonCode(const PrimeField& f,
+                                 std::size_t degree_bound, std::size_t length)
+    : ReedSolomonCode(f, degree_bound, default_points(length, f)) {}
+
+ReedSolomonCode::ReedSolomonCode(const PrimeField& f,
+                                 std::size_t degree_bound,
+                                 std::vector<u64> points)
+    : field_(f), degree_bound_(degree_bound), points_(std::move(points)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("ReedSolomonCode: no points");
+  }
+  if (degree_bound_ + 1 > points_.size()) {
+    throw std::invalid_argument(
+        "ReedSolomonCode: dimension d+1 exceeds code length e");
+  }
+  for (u64& p : points_) p = field_.reduce(p);
+  tree_ = std::make_unique<SubproductTree>(points_, field_);
+}
+
+std::vector<u64> ReedSolomonCode::encode(const Poly& message) const {
+  if (message.degree() > static_cast<int>(degree_bound_)) {
+    throw std::invalid_argument("ReedSolomonCode::encode: degree too high");
+  }
+  return tree_->evaluate(message, field_);
+}
+
+std::vector<u64> ReedSolomonCode::evaluate_at_points(const Poly& p) const {
+  return tree_->evaluate(p, field_);
+}
+
+Poly ReedSolomonCode::interpolate_received(
+    std::span<const u64> received) const {
+  if (received.size() != points_.size()) {
+    throw std::invalid_argument("ReedSolomonCode: received length mismatch");
+  }
+  return tree_->interpolate(received, field_);
+}
+
+const Poly& ReedSolomonCode::locator_product() const { return tree_->root(); }
+
+}  // namespace camelot

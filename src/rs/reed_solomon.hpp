@@ -1,0 +1,59 @@
+// Nonsystematic Reed--Solomon codes over Z_q (paper §2.3).
+//
+// A message (p_0,...,p_d) is the coefficient vector of the proof
+// polynomial P; the codeword is (P(x_1),...,P(x_e)) for e distinct
+// evaluation points. In the Camelot template the *community computes
+// the codeword directly* (each node evaluates P at its assigned
+// points), so "encoding" here exists for testing and for re-encoding
+// a decoded proof to locate errors.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "poly/multipoint.hpp"
+#include "poly/poly.hpp"
+
+namespace camelot {
+
+// Code of length e and dimension d+1 over Z_q at fixed points.
+// Unique decoding radius: floor((e - d - 1) / 2) symbol errors.
+class ReedSolomonCode {
+ public:
+  // Points default to 1, 2, ..., e (the paper's convention; the value
+  // 0 is excluded so Lagrange/factorial tricks stay uniform).
+  ReedSolomonCode(const PrimeField& f, std::size_t degree_bound,
+                  std::size_t length);
+  ReedSolomonCode(const PrimeField& f, std::size_t degree_bound,
+                  std::vector<u64> points);
+
+  const PrimeField& field() const noexcept { return field_; }
+  std::size_t length() const noexcept { return points_.size(); }
+  std::size_t degree_bound() const noexcept { return degree_bound_; }
+  const std::vector<u64>& points() const noexcept { return points_; }
+  std::size_t decoding_radius() const noexcept {
+    return (points_.size() - degree_bound_ - 1) / 2;
+  }
+
+  // Batch evaluation of the message polynomial at all points.
+  std::vector<u64> encode(const Poly& message) const;
+
+  // Values of an arbitrary polynomial at all points (shares the tree).
+  std::vector<u64> evaluate_at_points(const Poly& p) const;
+
+  // Interpolates through all points (degree < e); used by the decoder.
+  Poly interpolate_received(std::span<const u64> received) const;
+
+  // Product polynomial G0 = prod_i (x - x_i).
+  const Poly& locator_product() const;
+
+ private:
+  PrimeField field_;
+  std::size_t degree_bound_;
+  std::vector<u64> points_;
+  std::unique_ptr<SubproductTree> tree_;
+};
+
+}  // namespace camelot

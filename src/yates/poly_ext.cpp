@@ -1,0 +1,76 @@
+#include "yates/poly_ext.hpp"
+
+#include <stdexcept>
+
+#include "poly/lagrange.hpp"
+#include "yates/yates.hpp"
+
+namespace camelot {
+
+YatesPolynomialExtension::YatesPolynomialExtension(
+    const PrimeField& f, std::vector<u64> base, std::size_t t_dim,
+    std::size_t s_dim, unsigned k, std::vector<SparseEntry> entries,
+    int ell_override)
+    : field_(f),
+      base_(std::move(base)),
+      t_dim_(t_dim),
+      s_dim_(s_dim),
+      k_(k),
+      entries_(std::move(entries)) {
+  if (base_.size() != t_dim_ * s_dim_) {
+    throw std::invalid_argument("YatesPolynomialExtension: base shape");
+  }
+  if (t_dim_ < s_dim_) {
+    throw std::invalid_argument("YatesPolynomialExtension: requires t >= s");
+  }
+  if (entries_.empty()) {
+    throw std::invalid_argument("YatesPolynomialExtension: empty support");
+  }
+  if (ell_override >= 0) {
+    ell_ = std::min<unsigned>(static_cast<unsigned>(ell_override), k_);
+  } else {
+    unsigned ell = 0;
+    while (ipow(t_dim_, ell) < entries_.size() && ell < k_) ++ell;
+    ell_ = ell;
+  }
+  num_outer_ = ipow(t_dim_, k_ - ell_);
+  part_size_ = ipow(t_dim_, ell_);
+  if (num_outer_ >= field_.modulus()) {
+    throw std::invalid_argument(
+        "YatesPolynomialExtension: field too small for outer domain");
+  }
+  base_transposed_.assign(s_dim_ * t_dim_, 0);
+  for (std::size_t i = 0; i < t_dim_; ++i) {
+    for (std::size_t j = 0; j < s_dim_; ++j) {
+      base_transposed_[j * t_dim_ + i] = base_[i * s_dim_ + j];
+    }
+  }
+}
+
+std::vector<u64> YatesPolynomialExtension::evaluate(u64 z0) const {
+  // Phi_i(z0) for the outer domain 1..t^{k-ell} (eq. (6), computed by
+  // the factorial trick in O(t^{k-ell})).
+  std::vector<u64> phi = lagrange_basis_consecutive(
+      1, static_cast<std::size_t>(num_outer_), z0, field_);
+
+  // alpha_j(z0) for every outer digit pattern j in [s^{k-ell}]:
+  // a Kronecker-power matrix-vector product with the *transposed*
+  // base, computed by classical Yates (eq. (8)).
+  std::vector<u64> alpha =
+      yates_apply(field_, base_transposed_, s_dim_, t_dim_, phi, k_ - ell_);
+
+  // Scatter the sparse input, weighting entry j by alpha_{suffix(j)}.
+  const u64 suffix_size = ipow(s_dim_, k_ - ell_);
+  std::vector<u64> x_ell(ipow(s_dim_, ell_), 0);
+  for (const SparseEntry& se : entries_) {
+    const u64 j_prefix = se.index / suffix_size;
+    const u64 j_suffix = se.index % suffix_size;
+    const u64 w = alpha[j_suffix];
+    if (w == 0) continue;
+    x_ell[j_prefix] = field_.add(x_ell[j_prefix], field_.mul(w, se.value));
+  }
+  // Dense Yates over the inner digits.
+  return yates_apply(field_, base_, t_dim_, s_dim_, x_ell, ell_);
+}
+
+}  // namespace camelot

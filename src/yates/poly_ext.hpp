@@ -1,0 +1,46 @@
+// Polynomial extension of the split/sparse Yates algorithm (paper
+// §3.3): the outer loop of the split/sparse algorithm is replaced by a
+// polynomial indeterminate z. Evaluating at z0 = outer+1 reproduces
+// exactly the split/sparse part `outer`; evaluating at arbitrary
+// z0 in Z_q extends each part entry to a univariate polynomial of
+// degree at most t^{k-ell} - 1 — the raw material of the triangle
+// proof polynomial (Theorem 3, §6.3).
+//
+// The outer-loop iterations are identified with the field points
+// 1, 2, ..., t^{k-ell} (the paper's [t^{k-ell}]).
+#pragma once
+
+#include "yates/split_sparse.hpp"
+
+namespace camelot {
+
+class YatesPolynomialExtension {
+ public:
+  YatesPolynomialExtension(const PrimeField& f, std::vector<u64> base,
+                           std::size_t t_dim, std::size_t s_dim, unsigned k,
+                           std::vector<SparseEntry> entries,
+                           int ell_override = -1);
+
+  unsigned ell() const noexcept { return ell_; }
+  u64 num_outer() const noexcept { return num_outer_; }  // t^{k-ell}
+  u64 part_size() const noexcept { return part_size_; }  // t^ell
+  // Degree bound of each part-entry polynomial u_{i_1..i_ell}(z).
+  u64 poly_degree_bound() const noexcept { return num_outer_ - 1; }
+
+  // Values u_{i_1..i_ell}(z0) for all t^ell inner indices. Runs in
+  // O(|D| + t^{k-ell}) plus the ell-level dense Yates, per §3.3.
+  std::vector<u64> evaluate(u64 z0) const;
+
+ private:
+  PrimeField field_;
+  std::vector<u64> base_;
+  std::vector<u64> base_transposed_;
+  std::size_t t_dim_, s_dim_;
+  unsigned k_;
+  std::vector<SparseEntry> entries_;
+  unsigned ell_;
+  u64 num_outer_ = 0;
+  u64 part_size_ = 0;
+};
+
+}  // namespace camelot

@@ -1,0 +1,76 @@
+#include "yates/split_sparse.hpp"
+
+#include <stdexcept>
+
+#include "yates/yates.hpp"
+
+namespace camelot {
+
+SplitSparseYates::SplitSparseYates(const PrimeField& f, std::vector<u64> base,
+                                   std::size_t t_dim, std::size_t s_dim,
+                                   unsigned k,
+                                   std::vector<SparseEntry> entries,
+                                   int ell_override)
+    : field_(f),
+      base_(std::move(base)),
+      t_dim_(t_dim),
+      s_dim_(s_dim),
+      k_(k),
+      entries_(std::move(entries)) {
+  if (base_.size() != t_dim_ * s_dim_) {
+    throw std::invalid_argument("SplitSparseYates: base shape mismatch");
+  }
+  if (t_dim_ < s_dim_) {
+    throw std::invalid_argument("SplitSparseYates: requires t >= s (§3.2)");
+  }
+  if (entries_.empty()) {
+    throw std::invalid_argument("SplitSparseYates: empty support D");
+  }
+  const u64 domain = ipow(s_dim_, k_);
+  for (const SparseEntry& se : entries_) {
+    if (se.index >= domain) {
+      throw std::invalid_argument("SplitSparseYates: index out of range");
+    }
+  }
+  if (ell_override >= 0) {
+    ell_ = std::min<unsigned>(static_cast<unsigned>(ell_override), k_);
+  } else {
+    // ell = ceil(log_t |D|).
+    unsigned ell = 0;
+    while (ipow(t_dim_, ell) < entries_.size() && ell < k_) ++ell;
+    ell_ = ell;
+  }
+  num_parts_ = ipow(t_dim_, k_ - ell_);
+  part_size_ = ipow(t_dim_, ell_);
+}
+
+std::vector<u64> SplitSparseYates::part(u64 outer) const {
+  if (outer >= num_parts_) {
+    throw std::invalid_argument("SplitSparseYates::part: bad outer index");
+  }
+  const u64 suffix_size = ipow(s_dim_, k_ - ell_);
+  // Step (a)+(b): scatter each sparse entry into x^(ell), weighted by
+  // the product of base coefficients over the outer digit positions.
+  std::vector<u64> x_ell(ipow(s_dim_, ell_), 0);
+  for (const SparseEntry& se : entries_) {
+    const u64 j_prefix = se.index / suffix_size;  // first ell digits
+    u64 j_suffix = se.index % suffix_size;        // last k-ell digits
+    u64 w = field_.one();
+    u64 io = outer;
+    // Walk the k-ell outer digit positions least-significant first.
+    for (unsigned m = 0; m < k_ - ell_; ++m) {
+      const u64 jd = j_suffix % s_dim_;
+      const u64 id = io % t_dim_;
+      w = field_.mul(w, base_[id * s_dim_ + jd]);
+      j_suffix /= s_dim_;
+      io /= t_dim_;
+      if (w == 0) break;
+    }
+    if (w == 0) continue;
+    x_ell[j_prefix] = field_.add(x_ell[j_prefix], field_.mul(w, se.value));
+  }
+  // Step (c): classical Yates over the first ell digits.
+  return yates_apply(field_, base_, t_dim_, s_dim_, x_ell, ell_);
+}
+
+}  // namespace camelot

@@ -1,0 +1,58 @@
+// The split/sparse variant of Yates's algorithm (paper §3.2).
+//
+// Input: a sparse vector x (nonzero only on a set D of indices) and
+// the base matrix A (t x s, t >= s). Output: the t^k entries of
+// y = A^{(x)k} x, produced in t^{k-ell} independent *parts* of t^ell
+// entries each, where ell ~ log_t |D| so each part costs roughly
+// O(|D|) work — the mechanism behind the parallel triangle counting
+// of Theorems 4 and 5.
+//
+// Digit convention (see yates.hpp): output index i = i_1..i_k with i_1
+// most significant. A part fixes the *last* k-ell digits ("outer
+// index") and produces all values of the first ell digits, i.e.
+// part(outer)[inner] = y[inner * t^{k-ell} + outer].
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace camelot {
+
+struct SparseEntry {
+  u64 index = 0;  // position in [s^k]
+  u64 value = 0;  // field element
+};
+
+class SplitSparseYates {
+ public:
+  // If ell_override < 0 the paper's choice ell = ceil(log_t |D|) is
+  // used (clamped to [0, k]).
+  SplitSparseYates(const PrimeField& f, std::vector<u64> base,
+                   std::size_t t_dim, std::size_t s_dim, unsigned k,
+                   std::vector<SparseEntry> entries, int ell_override = -1);
+
+  unsigned ell() const noexcept { return ell_; }
+  // Number of independent parts t^{k-ell}.
+  u64 num_parts() const noexcept { return num_parts_; }
+  // Entries per part, t^ell.
+  u64 part_size() const noexcept { return part_size_; }
+
+  // Computes one part; parts are independent and may be computed
+  // concurrently by different nodes. O((t^{ell+1}+s^{ell+1})ell + |D|)
+  // operations each.
+  std::vector<u64> part(u64 outer) const;
+
+ private:
+  PrimeField field_;
+  std::vector<u64> base_;
+  std::size_t t_dim_, s_dim_;
+  unsigned k_;
+  std::vector<SparseEntry> entries_;
+  unsigned ell_;
+  u64 num_parts_ = 0;
+  u64 part_size_ = 0;
+};
+
+}  // namespace camelot

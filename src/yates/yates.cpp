@@ -1,0 +1,74 @@
+#include "yates/yates.hpp"
+
+#include <stdexcept>
+
+namespace camelot {
+
+std::vector<u64> yates_apply(const PrimeField& f, std::span<const u64> base,
+                             std::size_t t_dim, std::size_t s_dim,
+                             std::span<const u64> x, unsigned k) {
+  if (base.size() != t_dim * s_dim) {
+    throw std::invalid_argument("yates_apply: base shape mismatch");
+  }
+  if (x.size() != ipow(s_dim, k)) {
+    throw std::invalid_argument("yates_apply: input size != s^k");
+  }
+  std::vector<u64> cur(x.begin(), x.end());
+  // After level L the array is indexed by
+  // (i_1..i_L, j_{L+1}..j_k)  ->  prefix * s^{k-L} + suffix,
+  // prefix in [t^L] (base t), suffix in [s^{k-L}] (base s).
+  for (unsigned level = 0; level < k; ++level) {
+    const u64 prefix_count = ipow(t_dim, level);
+    const u64 suffix_count = ipow(s_dim, k - 1 - level);
+    std::vector<u64> next(prefix_count * t_dim * suffix_count, 0);
+    for (u64 p = 0; p < prefix_count; ++p) {
+      for (std::size_t i = 0; i < t_dim; ++i) {
+        for (std::size_t j = 0; j < s_dim; ++j) {
+          const u64 w = base[i * s_dim + j];
+          if (w == 0) continue;
+          const u64* src = cur.data() + (p * s_dim + j) * suffix_count;
+          u64* dst = next.data() + (p * t_dim + i) * suffix_count;
+          if (w == 1) {
+            for (u64 s = 0; s < suffix_count; ++s) {
+              dst[s] = f.add(dst[s], src[s]);
+            }
+          } else {
+            for (u64 s = 0; s < suffix_count; ++s) {
+              dst[s] = f.add(dst[s], f.mul(w, src[s]));
+            }
+          }
+        }
+      }
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+std::vector<u64> yates_apply_naive(const PrimeField& f,
+                                   std::span<const u64> base,
+                                   std::size_t t_dim, std::size_t s_dim,
+                                   std::span<const u64> x, unsigned k) {
+  if (base.size() != t_dim * s_dim || x.size() != ipow(s_dim, k)) {
+    throw std::invalid_argument("yates_apply_naive: shape mismatch");
+  }
+  const u64 out_size = ipow(t_dim, k);
+  std::vector<u64> y(out_size, 0);
+  for (u64 i = 0; i < out_size; ++i) {
+    for (u64 j = 0; j < x.size(); ++j) {
+      if (x[j] == 0) continue;
+      // Product over digits, most significant first.
+      u64 w = f.one();
+      u64 ii = i, jj = j;
+      for (unsigned level = 0; level < k; ++level) {
+        const u64 id = (ii / ipow(t_dim, k - 1 - level)) % t_dim;
+        const u64 jd = (jj / ipow(s_dim, k - 1 - level)) % s_dim;
+        w = f.mul(w, base[id * s_dim + jd]);
+      }
+      y[i] = f.add(y[i], f.mul(w, x[j]));
+    }
+  }
+  return y;
+}
+
+}  // namespace camelot

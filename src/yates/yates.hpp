@@ -1,0 +1,33 @@
+// Classical Yates's algorithm (paper §3.1).
+//
+// Multiplies an s^k vector x by the Kronecker power A^{(x)k} of a
+// small t x s matrix A in O((s^{k+1} + t^{k+1}) k) operations, one
+// digit (nested sum) at a time — eq. (5).
+//
+// Index convention used throughout this library: an index
+// j in [s^k] is read as k digits j_1 j_2 ... j_k in base s with j_1
+// MOST significant (j = j_1 s^{k-1} + ... + j_k). Digits are 0-based.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace camelot {
+
+// y = (A^{(x)k}) x, where `base` is the t_dim x s_dim matrix A in
+// row-major order (field elements), and x has s_dim^k entries.
+// Returns t_dim^k entries.
+std::vector<u64> yates_apply(const PrimeField& f, std::span<const u64> base,
+                             std::size_t t_dim, std::size_t s_dim,
+                             std::span<const u64> x, unsigned k);
+
+// Reference implementation by the defining sum (3): O((st)^k k) — used
+// only for differential testing.
+std::vector<u64> yates_apply_naive(const PrimeField& f,
+                                   std::span<const u64> base,
+                                   std::size_t t_dim, std::size_t s_dim,
+                                   std::span<const u64> x, unsigned k);
+
+}  // namespace camelot

@@ -1,0 +1,143 @@
+#include "field/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace camelot {
+namespace {
+
+TEST(BigInt, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.negative());
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ((-z).to_string(), "0");
+}
+
+TEST(BigInt, SmallArithmetic) {
+  BigInt a(123), b(-45);
+  EXPECT_EQ((a + b).to_i64(), 78);
+  EXPECT_EQ((a - b).to_i64(), 168);
+  EXPECT_EQ((a * b).to_i64(), -5535);
+  EXPECT_EQ((b * b).to_i64(), 2025);
+  EXPECT_EQ((a + (-a)).to_i64(), 0);
+}
+
+TEST(BigInt, Int64Boundaries) {
+  BigInt mn(INT64_MIN), mx(INT64_MAX);
+  EXPECT_EQ(mn.to_i64(), INT64_MIN);
+  EXPECT_EQ(mx.to_i64(), INT64_MAX);
+  EXPECT_EQ(mn.to_string(), "-9223372036854775808");
+  EXPECT_EQ(mx.to_string(), "9223372036854775807");
+  EXPECT_THROW((mx + BigInt(1)).to_i64(), std::overflow_error);
+}
+
+TEST(BigInt, CarryPropagation) {
+  BigInt a = BigInt::from_u64(~u64{0});
+  BigInt b = a + BigInt(1);
+  EXPECT_EQ(b.to_string(), "18446744073709551616");  // 2^64
+  EXPECT_EQ((b - BigInt(1)).to_u64(), ~u64{0});
+  EXPECT_EQ(b.bit_length(), 65u);
+}
+
+TEST(BigInt, PowerOfTwo) {
+  EXPECT_EQ(BigInt::power_of_two(0).to_u64(), 1u);
+  EXPECT_EQ(BigInt::power_of_two(10).to_u64(), 1024u);
+  EXPECT_EQ(BigInt::power_of_two(100).bit_length(), 101u);
+  EXPECT_EQ(BigInt::power_of_two(128).to_string(),
+            "340282366920938463463374607431768211456");
+}
+
+TEST(BigInt, MultiplicationLarge) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1.
+  BigInt a = BigInt::from_u64(~u64{0});
+  BigInt sq = a * a;
+  BigInt expect = BigInt::power_of_two(128) - BigInt::power_of_two(65) +
+                  BigInt(1);
+  EXPECT_EQ(sq, expect);
+  EXPECT_EQ(sq.to_string(), "340282366920938463426481119284349108225");
+}
+
+TEST(BigInt, FromString) {
+  EXPECT_EQ(BigInt::from_string("0").to_i64(), 0);
+  EXPECT_EQ(BigInt::from_string("-12345").to_i64(), -12345);
+  BigInt big = BigInt::from_string("340282366920938463463374607431768211456");
+  EXPECT_EQ(big, BigInt::power_of_two(128));
+  EXPECT_THROW(BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("12a"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("-"), std::invalid_argument);
+}
+
+TEST(BigInt, ModU64) {
+  BigInt big = BigInt::from_string("123456789012345678901234567890");
+  // Divisibility facts checkable by hand: value = 2 * 3^2 * 5 * ...
+  EXPECT_EQ(big.mod_u64(2), 0u);
+  EXPECT_EQ(big.mod_u64(3), 0u);
+  EXPECT_EQ(big.mod_u64(10), 0u);
+  // x mod m agrees with the remainder from divmod.
+  u64 r1 = big.mod_u64(1'000'000'007);
+  u64 rem = 0;
+  BigInt q = big.divmod_u64(1'000'000'007, &rem);
+  EXPECT_EQ(r1, rem);
+  EXPECT_EQ(q.mul_u64(1'000'000'007) + BigInt::from_u64(rem), big);
+}
+
+TEST(BigInt, DivmodRoundTrip) {
+  std::mt19937_64 rng(11);
+  BigInt x = BigInt::from_u64(rng());
+  for (int i = 0; i < 5; ++i) x = x * BigInt::from_u64(rng() | 1);
+  for (u64 d : {u64{3}, u64{97}, u64{1'000'003}, (u64{1} << 61) - 1}) {
+    u64 rem = 0;
+    BigInt q = x.divmod_u64(d, &rem);
+    EXPECT_LT(rem, d);
+    EXPECT_EQ(q.mul_u64(d) + BigInt::from_u64(rem), x);
+  }
+}
+
+TEST(BigInt, PowU32) {
+  EXPECT_EQ(BigInt(3).pow_u32(0).to_i64(), 1);
+  EXPECT_EQ(BigInt(3).pow_u32(5).to_i64(), 243);
+  EXPECT_EQ(BigInt(2).pow_u32(100), BigInt::power_of_two(100));
+  EXPECT_EQ(BigInt(-2).pow_u32(3).to_i64(), -8);
+  EXPECT_EQ(BigInt(-2).pow_u32(4).to_i64(), 16);
+  EXPECT_EQ(BigInt(10).pow_u32(30).to_string(),
+            "1000000000000000000000000000000");
+}
+
+TEST(BigInt, Comparisons) {
+  BigInt a(-5), b(3), c = BigInt::power_of_two(70);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(-c, a);
+  EXPECT_LE(a, a);
+  EXPECT_GT(c, b);
+  EXPECT_GE(b, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(BigInt, StringRoundTripRandom) {
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 20; ++i) {
+    BigInt x = BigInt::from_u64(rng());
+    for (int j = 0; j < i % 4; ++j) x = x * BigInt::from_u64(rng());
+    if (i % 2 == 1) x = -x;
+    EXPECT_EQ(BigInt::from_string(x.to_string()), x);
+  }
+}
+
+TEST(BigInt, AdditionAssociativityRandom) {
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a(static_cast<i64>(rng())), b(static_cast<i64>(rng())),
+        c(static_cast<i64>(rng()));
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - b, -(b - a));
+  }
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,92 @@
+#include "field/crt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "field/primes.hpp"
+
+namespace camelot {
+namespace {
+
+TEST(Crt, TwoPrimeExample) {
+  // x = 2 mod 3, x = 3 mod 5 -> x = 8.
+  BigInt x = crt_reconstruct({2, 3}, {3, 5});
+  EXPECT_EQ(x.to_i64(), 8);
+}
+
+TEST(Crt, SinglePrime) {
+  EXPECT_EQ(crt_reconstruct({5}, {7}).to_i64(), 5);
+}
+
+TEST(Crt, RejectsMismatch) {
+  EXPECT_THROW(crt_reconstruct({1, 2}, {3}), std::invalid_argument);
+  EXPECT_THROW(crt_reconstruct({}, {}), std::invalid_argument);
+}
+
+TEST(Crt, RoundTripLargeUnsigned) {
+  std::vector<u64> primes = find_ntt_primes(1 << 20, 10, 4);
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    // A value below the product of the moduli.
+    BigInt value = BigInt::from_u64(rng() % (u64{1} << 40));
+    value = value * BigInt::from_u64(rng() % (u64{1} << 30));
+    std::vector<u64> residues;
+    for (u64 q : primes) residues.push_back(value.mod_u64(q));
+    EXPECT_EQ(crt_reconstruct(residues, primes), value);
+  }
+}
+
+TEST(Crt, SignedReconstruction) {
+  std::vector<u64> primes = {1'000'003, 1'000'033, 1'000'037};
+  for (i64 v : {-123456789ll, -1ll, 0ll, 1ll, 987654321ll,
+                -500'000'000'000ll}) {
+    std::vector<u64> residues;
+    for (u64 q : primes) {
+      i64 r = v % static_cast<i64>(q);
+      if (r < 0) r += static_cast<i64>(q);
+      residues.push_back(static_cast<u64>(r));
+    }
+    BigInt got = crt_reconstruct_signed(residues, primes);
+    EXPECT_EQ(got.to_i64(), v) << v;
+  }
+}
+
+TEST(Crt, SignedBoundary) {
+  // M = 15; signed range is (-7, 8]. Check wrap point.
+  std::vector<u64> moduli = {3, 5};
+  // x = 8: residues (2, 3).
+  EXPECT_EQ(crt_reconstruct_signed({2, 3}, moduli).to_i64(), -7);
+  // x = 7: residues (1, 2).
+  EXPECT_EQ(crt_reconstruct_signed({1, 2}, moduli).to_i64(), 7);
+}
+
+TEST(Crt, PrimesNeeded) {
+  // bound = 2^100 needs > 102 bits of modulus.
+  BigInt bound = BigInt::power_of_two(100);
+  std::size_t n30 = crt_primes_needed(bound, 30);
+  EXPECT_GE(n30 * 30, 102u);
+  EXPECT_LT((n30 - 1) * 30, 103u);
+  EXPECT_EQ(crt_primes_needed(BigInt(1), 30), 1u);
+  EXPECT_THROW(crt_primes_needed(bound, 0), std::invalid_argument);
+  EXPECT_THROW(crt_primes_needed(bound, 62), std::invalid_argument);
+}
+
+TEST(Crt, ConsistencyAcrossPrimeSubsets) {
+  // The same value reconstructed from different prime subsets agrees.
+  BigInt value = BigInt::from_string("98765432109876543210");
+  std::vector<u64> primes = find_ntt_primes(1 << 24, 8, 5);
+  std::vector<u64> residues;
+  for (u64 q : primes) residues.push_back(value.mod_u64(q));
+  BigInt a = crt_reconstruct(
+      {residues[0], residues[1], residues[2], residues[3]},
+      {primes[0], primes[1], primes[2], primes[3]});
+  BigInt b = crt_reconstruct(
+      {residues[4], residues[2], residues[1], residues[0]},
+      {primes[4], primes[2], primes[1], primes[0]});
+  EXPECT_EQ(a, value);
+  EXPECT_EQ(b, value);
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,130 @@
+#include "count/form62.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "field/primes.hpp"
+
+namespace camelot {
+namespace {
+
+Form62Input random_input(std::size_t n, const PrimeField& f, u64 seed,
+                         bool binary = false) {
+  std::mt19937_64 rng(seed);
+  Form62Input in;
+  for (Matrix& m : in.mats) {
+    m = Matrix(n, n);
+    for (u64& v : m.data()) {
+      v = binary ? rng() % 2 : rng() % f.modulus();
+    }
+  }
+  return in;
+}
+
+TEST(Form62, PairIndexBijective) {
+  std::vector<bool> seen(15, false);
+  for (int s = 1; s <= 5; ++s) {
+    for (int t = s + 1; t <= 6; ++t) {
+      std::size_t idx = form62_pair_index(s, t);
+      ASSERT_LT(idx, 15u);
+      EXPECT_FALSE(seen[idx]) << s << "," << t;
+      seen[idx] = true;
+    }
+  }
+  EXPECT_EQ(form62_pair_index(1, 2), 0u);
+  EXPECT_EQ(form62_pair_index(5, 6), 14u);
+  EXPECT_THROW(form62_pair_index(2, 2), std::invalid_argument);
+  EXPECT_THROW(form62_pair_index(0, 3), std::invalid_argument);
+}
+
+TEST(Form62, DirectOnAllOnesCountsTuples) {
+  // With every matrix all-ones, X = N^6.
+  PrimeField f(1'000'003);
+  const std::size_t n = 3;
+  Form62Input in;
+  for (Matrix& m : in.mats) {
+    m = Matrix(n, n);
+    for (u64& v : m.data()) v = 1;
+  }
+  EXPECT_EQ(form62_direct(in, f), ipow(3, 6));
+}
+
+class Form62Agreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Form62Agreement, NesetrilPoljakMatchesDirect) {
+  PrimeField f(find_ntt_prime(1 << 20, 6));
+  Form62Input in = random_input(GetParam(), f, GetParam() * 3 + 1);
+  EXPECT_EQ(form62_nesetril_poljak(in, f), form62_direct(in, f));
+}
+
+TEST_P(Form62Agreement, NewCircuitStrassenMatchesDirect) {
+  PrimeField f(find_ntt_prime(1 << 20, 6));
+  const std::size_t n = GetParam();
+  TrilinearDecomposition dec = strassen_decomposition();
+  const unsigned t = kronecker_exponent(2, n);
+  Form62Input in = random_input(n, f, GetParam() * 7 + 2);
+  const u64 expect = form62_direct(in, f);
+  Form62Input padded = form62_padded(in, ipow(2, t));
+  EXPECT_EQ(form62_new_circuit(padded, dec, t, f), expect) << "n=" << n;
+}
+
+TEST_P(Form62Agreement, NewCircuitNaiveDecompositionMatchesDirect) {
+  PrimeField f(find_ntt_prime(1 << 20, 6));
+  const std::size_t n = GetParam();
+  TrilinearDecomposition dec = naive_decomposition(2);
+  const unsigned t = kronecker_exponent(2, n);
+  Form62Input in = random_input(n, f, GetParam() * 11 + 3);
+  const u64 expect = form62_direct(in, f);
+  Form62Input padded = form62_padded(in, ipow(2, t));
+  EXPECT_EQ(form62_new_circuit(padded, dec, t, f), expect) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Form62Agreement,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8));
+
+TEST(Form62, PaddingDoesNotChangeValue) {
+  // Zero rows/columns contribute nothing to the form.
+  PrimeField f(7681);
+  Form62Input in = random_input(3, f, 42);
+  const u64 expect = form62_direct(in, f);
+  Form62Input padded = form62_padded(in, 8);
+  EXPECT_EQ(form62_direct(padded, f), expect);
+  EXPECT_EQ(form62_nesetril_poljak(padded, f), expect);
+}
+
+TEST(Form62, RangeSplitsSumToWhole) {
+  // The per-r terms are the parallel work units of Theorem 2: any
+  // partition of [0, R) sums to the full value.
+  PrimeField f(7681);
+  TrilinearDecomposition dec = strassen_decomposition();
+  const unsigned t = 2;  // N = 4, R = 49
+  Form62Input in = random_input(4, f, 9);
+  const u64 whole = form62_new_circuit(in, dec, t, f);
+  u64 pieces = 0;
+  for (u64 r = 0; r < 49; r += 10) {
+    pieces = f.add(pieces,
+                   form62_new_circuit_range(in, dec, t, r,
+                                            std::min<u64>(r + 10, 49), f));
+  }
+  EXPECT_EQ(pieces, whole);
+}
+
+TEST(Form62, KroneckerExponent) {
+  EXPECT_EQ(kronecker_exponent(2, 1), 0u);
+  EXPECT_EQ(kronecker_exponent(2, 2), 1u);
+  EXPECT_EQ(kronecker_exponent(2, 3), 2u);
+  EXPECT_EQ(kronecker_exponent(2, 8), 3u);
+  EXPECT_EQ(kronecker_exponent(2, 9), 4u);
+  EXPECT_EQ(kronecker_exponent(3, 10), 3u);
+}
+
+TEST(Form62, NewCircuitRejectsUnpaddedInput) {
+  PrimeField f(97);
+  TrilinearDecomposition dec = strassen_decomposition();
+  Form62Input in = random_input(3, f, 1);
+  EXPECT_THROW(form62_new_circuit(in, dec, 2, f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,287 @@
+#include "graph/brute.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/zeta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace camelot {
+namespace {
+
+TEST(Graph, BasicAdjacency) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 4);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 4));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 9), std::invalid_argument);
+}
+
+TEST(Graph, EdgesSortedAndMasks) {
+  Graph g(4);
+  g.add_edge(2, 3);
+  g.add_edge(0, 2);
+  auto es = g.edges();
+  ASSERT_EQ(es.size(), 2u);
+  EXPECT_EQ(es[0], (std::pair<u32, u32>{0, 2}));
+  EXPECT_EQ(es[1], (std::pair<u32, u32>{2, 3}));
+  EXPECT_EQ(g.neighbors_mask(2), 0b1001u);
+}
+
+TEST(Graph, IndependentAndClique) {
+  Graph g = cycle_graph(5);
+  EXPECT_TRUE(g.is_independent(0b00101));   // vertices 0, 2
+  EXPECT_FALSE(g.is_independent(0b00011));  // adjacent pair
+  EXPECT_TRUE(g.is_clique(0b00011));
+  EXPECT_FALSE(g.is_clique(0b00101));
+  EXPECT_TRUE(g.is_clique(0));  // empty set
+  Graph k4 = complete_graph(4);
+  EXPECT_TRUE(k4.is_clique(0b1111));
+}
+
+TEST(Graph, EdgeCountsWithinBetween) {
+  Graph g = complete_graph(6);
+  EXPECT_EQ(g.edges_within(0b000111), 3u);       // K3
+  EXPECT_EQ(g.edges_between(0b000011, 0b001100), 4u);
+  EXPECT_THROW(g.edges_between(0b11, 0b10), std::invalid_argument);
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g = cycle_graph(6);
+  Graph h = g.induced_subgraph({0, 1, 2});
+  EXPECT_EQ(h.num_vertices(), 3u);
+  EXPECT_EQ(h.num_edges(), 2u);  // path 0-1-2
+}
+
+TEST(Graph, ComponentsWithEdges) {
+  EXPECT_EQ(Graph::components_with_edges(5, {}), 5u);
+  EXPECT_EQ(Graph::components_with_edges(5, {{0, 1}, {2, 3}}), 3u);
+  EXPECT_EQ(Graph::components_with_edges(3, {{0, 1}, {1, 2}, {0, 2}}), 1u);
+}
+
+TEST(Graph, LargeVertexCountWords) {
+  Graph g(130);
+  g.add_edge(0, 129);
+  g.add_edge(64, 65);
+  EXPECT_TRUE(g.has_edge(129, 0));
+  EXPECT_TRUE(g.has_edge(65, 64));
+  EXPECT_EQ(g.degree(129), 1u);
+  EXPECT_THROW(g.neighbors_mask(0), std::invalid_argument);
+}
+
+TEST(Generators, BasicShapes) {
+  EXPECT_EQ(complete_graph(7).num_edges(), 21u);
+  EXPECT_EQ(cycle_graph(9).num_edges(), 9u);
+  EXPECT_EQ(path_graph(9).num_edges(), 8u);
+  EXPECT_EQ(star_graph(9).num_edges(), 8u);
+  EXPECT_EQ(empty_graph(9).num_edges(), 0u);
+  EXPECT_EQ(complete_bipartite(3, 4).num_edges(), 12u);
+  Graph p = petersen_graph();
+  EXPECT_EQ(p.num_edges(), 15u);
+  for (std::size_t v = 0; v < 10; ++v) EXPECT_EQ(p.degree(v), 3u);
+}
+
+TEST(Generators, GnmExactAndDeterministic) {
+  Graph a = gnm(20, 37, 5), b = gnm(20, 37, 5);
+  EXPECT_EQ(a.num_edges(), 37u);
+  EXPECT_EQ(a.edges(), b.edges());
+  Graph c = gnm(20, 37, 6);
+  EXPECT_NE(a.edges(), c.edges());
+  EXPECT_THROW(gnm(4, 7, 1), std::invalid_argument);
+}
+
+TEST(Generators, HubGraphDegrees) {
+  Graph g = hub_graph(30, 20, 2, 7);
+  EXPECT_EQ(g.degree(0), 29u);
+  EXPECT_EQ(g.degree(1), 29u);
+  // Non-hub degrees stay small: 2 hub edges + sparse background.
+  for (std::size_t v = 2; v < 30; ++v) EXPECT_LE(g.degree(v), 2u + 20u);
+}
+
+TEST(Generators, PlantedCliqueContainsClique) {
+  Graph g = planted_clique(30, 0.1, 6, 11);
+  EXPECT_GE(count_k_cliques_brute(g, 6), 1u);
+}
+
+TEST(Brute, TrianglesKnownGraphs) {
+  EXPECT_EQ(count_triangles_brute(complete_graph(5)), 10u);
+  EXPECT_EQ(count_triangles_brute(cycle_graph(5)), 0u);
+  EXPECT_EQ(count_triangles_brute(cycle_graph(3)), 1u);
+  EXPECT_EQ(count_triangles_brute(complete_bipartite(3, 3)), 0u);
+  EXPECT_EQ(count_triangles_brute(petersen_graph()), 0u);
+}
+
+TEST(Brute, TrianglesLargeGraphMatchesSmallPath) {
+  // The n > 64 code path must agree with the mask path on a graph
+  // embedded in a larger vertex set.
+  Graph small = gnp(40, 0.3, 3);
+  Graph large(100);
+  for (auto [u, v] : small.edges()) large.add_edge(u, v);
+  EXPECT_EQ(count_triangles_brute(small), count_triangles_brute(large));
+}
+
+TEST(Brute, CliquesKnownValues) {
+  Graph k6 = complete_graph(6);
+  EXPECT_EQ(count_k_cliques_brute(k6, 3), 20u);  // C(6,3)
+  EXPECT_EQ(count_k_cliques_brute(k6, 6), 1u);
+  EXPECT_EQ(count_k_cliques_brute(k6, 7), 0u);
+  EXPECT_EQ(count_k_cliques_brute(cycle_graph(6), 2), 6u);
+  EXPECT_EQ(count_k_cliques_brute(empty_graph(5), 1), 5u);
+  EXPECT_EQ(count_k_cliques_brute(empty_graph(5), 0), 1u);
+}
+
+TEST(Brute, TrianglesAgreeWithKClique3) {
+  for (u64 seed = 0; seed < 5; ++seed) {
+    Graph g = gnp(25, 0.4, seed);
+    EXPECT_EQ(count_triangles_brute(g), count_k_cliques_brute(g, 3));
+  }
+}
+
+TEST(Brute, IndependentSets) {
+  // Empty graph: all 2^n subsets independent.
+  EXPECT_EQ(count_independent_sets_brute(empty_graph(10)), 1024u);
+  // K3: empty + 3 singletons.
+  EXPECT_EQ(count_independent_sets_brute(complete_graph(3)), 4u);
+  // Path P3 (3 vertices): {},{0},{1},{2},{0,2} = 5 (Fibonacci).
+  EXPECT_EQ(count_independent_sets_brute(path_graph(3)), 5u);
+  EXPECT_EQ(count_independent_sets_brute(path_graph(6)), 21u);
+}
+
+TEST(Brute, HamiltonCyclesKnown) {
+  EXPECT_EQ(count_hamilton_cycles_brute(complete_graph(4)), 3u);
+  EXPECT_EQ(count_hamilton_cycles_brute(complete_graph(5)), 12u);
+  EXPECT_EQ(count_hamilton_cycles_brute(cycle_graph(7)), 1u);
+  EXPECT_EQ(count_hamilton_cycles_brute(path_graph(5)), 0u);
+  EXPECT_EQ(count_hamilton_cycles_brute(petersen_graph()), 0u);
+  EXPECT_EQ(count_hamilton_cycles_brute(complete_bipartite(3, 3)), 6u);
+}
+
+TEST(Brute, WhitneyMatrixTotals) {
+  Graph g = cycle_graph(4);
+  auto rank = whitney_rank_matrix_brute(g);
+  // Sum of all entries = 2^m.
+  BigInt total(0);
+  for (const auto& row : rank) {
+    for (const BigInt& v : row) total += v;
+  }
+  EXPECT_EQ(total.to_u64(), 16u);
+  // Exactly one subset (the full edge set) has 1 component & 4 edges;
+  // spanning trees of C4: 4 subsets with 1 component & 3 edges.
+  EXPECT_EQ(rank[1][4].to_u64(), 1u);
+  EXPECT_EQ(rank[1][3].to_u64(), 4u);
+}
+
+TEST(Brute, ChromaticFromWhitneyMatchesDirect) {
+  for (u64 seed = 0; seed < 4; ++seed) {
+    Graph g = gnp(7, 0.45, seed);
+    if (g.num_edges() > 18) continue;
+    auto rank = whitney_rank_matrix_brute(g);
+    for (i64 t = 0; t <= 4; ++t) {
+      EXPECT_EQ(chromatic_value_from_whitney(rank, t).to_u64(),
+                count_colorings_brute(g, static_cast<std::size_t>(t)))
+          << "seed=" << seed << " t=" << t;
+    }
+  }
+}
+
+TEST(Brute, TutteKnownPolynomials) {
+  // Tree with m edges: T(x,y) = x^m.
+  Graph tree = path_graph(5);
+  EXPECT_EQ(tutte_value_delcontract(tree, 3, 7).to_i64(), 81);  // 3^4
+  // Cycle C_n: T(x,y) = y + x + x^2 + ... + x^{n-1}.
+  Graph c4 = cycle_graph(4);
+  EXPECT_EQ(tutte_value_delcontract(c4, 2, 5).to_i64(), 5 + 2 + 4 + 8);
+  // Triangle: T(x,y) = x^2 + x + y.
+  EXPECT_EQ(tutte_value_delcontract(cycle_graph(3), 2, 3).to_i64(), 9);
+  // T(1,1) counts spanning trees: K4 has 16.
+  EXPECT_EQ(tutte_value_delcontract(complete_graph(4), 1, 1).to_i64(), 16);
+  // T(2,2) = 2^m.
+  EXPECT_EQ(tutte_value_delcontract(complete_graph(4), 2, 2).to_i64(), 64);
+}
+
+TEST(Brute, TutteMatchesPottsTransform) {
+  // (x-1)^{c(E)} (y-1)^{|V|} T(x,y) = Z(t,r) with t=(x-1)(y-1), r=y-1
+  // (eq. (34)) — check on connected random graphs.
+  for (u64 seed = 0; seed < 4; ++seed) {
+    Graph g = gnp(6, 0.55, seed + 10);
+    if (g.num_edges() > 16 ||
+        Graph::components_with_edges(6, g.edges()) != 1) {
+      continue;
+    }
+    auto rank = whitney_rank_matrix_brute(g);
+    for (auto [x, y] : std::vector<std::pair<i64, i64>>{{2, 3}, {3, 2},
+                                                        {2, 2}, {4, 5}}) {
+      BigInt lhs = BigInt(x - 1) *
+                   BigInt(y - 1).pow_u32(6) *
+                   tutte_value_delcontract(g, x, y);
+      BigInt rhs = potts_value_from_whitney(rank, (x - 1) * (y - 1), y - 1);
+      EXPECT_EQ(lhs, rhs) << "seed=" << seed << " x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(Zeta, SmallKnownTransform) {
+  PrimeField f(1'000'003);
+  std::vector<u64> a = {1, 2, 3, 4};  // f({}) f({0}) f({1}) f({0,1})
+  zeta_transform(a, f);
+  EXPECT_EQ(a, (std::vector<u64>{1, 3, 4, 10}));
+}
+
+TEST(Zeta, MoebiusInvertsZeta) {
+  PrimeField f(7681);
+  std::mt19937_64 rng(1);
+  std::vector<u64> a(64);
+  for (u64& v : a) v = rng() % f.modulus();
+  auto original = a;
+  zeta_transform(a, f);
+  moebius_transform(a, f);
+  EXPECT_EQ(a, original);
+}
+
+TEST(Zeta, StridedMatchesScalar) {
+  PrimeField f(7681);
+  std::mt19937_64 rng(2);
+  const std::size_t slots = 16, stride = 3;
+  std::vector<u64> table(slots * stride);
+  for (u64& v : table) v = rng() % f.modulus();
+  auto strided = table;
+  zeta_transform_strided(strided, stride, f);
+  for (std::size_t i = 0; i < stride; ++i) {
+    std::vector<u64> lane(slots);
+    for (std::size_t s = 0; s < slots; ++s) lane[s] = table[s * stride + i];
+    zeta_transform(lane, f);
+    for (std::size_t s = 0; s < slots; ++s) {
+      EXPECT_EQ(strided[s * stride + i], lane[s]);
+    }
+  }
+}
+
+TEST(Zeta, RejectsBadSizes) {
+  PrimeField f(17);
+  std::vector<u64> a(3);
+  EXPECT_THROW(zeta_transform(a, f), std::invalid_argument);
+  std::vector<u64> b(12);
+  EXPECT_THROW(zeta_transform_strided(b, 5, f), std::invalid_argument);
+}
+
+TEST(Zeta, CountsIndependentSetsViaTransform) {
+  // zeta of the independent-set indicator at the full set = total
+  // number of independent sets: cross-check against brute force.
+  Graph g = gnp(10, 0.4, 9);
+  PrimeField f(1'000'003);
+  std::vector<u64> ind(1u << 10);
+  for (u64 s = 0; s < ind.size(); ++s) ind[s] = g.is_independent(s) ? 1 : 0;
+  zeta_transform(ind, f);
+  EXPECT_EQ(ind.back(), count_independent_sets_brute(g));
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,183 @@
+#include "linalg/matmul.hpp"
+#include "linalg/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "field/primes.hpp"
+
+namespace camelot {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, const PrimeField& f,
+                     std::mt19937_64& rng) {
+  Matrix m(r, c);
+  for (u64& v : m.data()) v = rng() % f.modulus();
+  return m;
+}
+
+TEST(Matrix, PadAndTranspose) {
+  PrimeField f(17);
+  Matrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(1, 2) = 5;
+  Matrix p = m.padded(4, 4);
+  EXPECT_EQ(p.at(0, 0), 1u);
+  EXPECT_EQ(p.at(1, 2), 5u);
+  EXPECT_EQ(p.at(3, 3), 0u);
+  EXPECT_THROW(m.padded(1, 3), std::invalid_argument);
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.at(2, 1), 5u);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  PrimeField f(7);
+  Matrix a(2, 2), b(2, 2);
+  a.at(0, 0) = 3;
+  a.at(1, 1) = 5;
+  b.at(0, 0) = 6;
+  b.at(1, 1) = 4;
+  Matrix s = matrix_add(a, b, f);
+  EXPECT_EQ(s.at(0, 0), 2u);  // 9 mod 7
+  Matrix h = matrix_hadamard(a, b, f);
+  EXPECT_EQ(h.at(0, 0), 4u);  // 18 mod 7
+  EXPECT_EQ(h.at(0, 1), 0u);
+  EXPECT_EQ(matrix_sum(s, f), f.add(2, 2));
+  EXPECT_EQ(matrix_dot(a, b, f), f.add(f.mul(3, 6), f.mul(5, 4)));
+  Matrix wrong(3, 2);
+  EXPECT_THROW(matrix_add(a, wrong, f), std::invalid_argument);
+}
+
+TEST(Matmul, TinyKnownProduct) {
+  PrimeField f(101);
+  Matrix a(2, 2), b(2, 2);
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+  b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+  Matrix c = matmul_classical(a, b, f);
+  EXPECT_EQ(c.at(0, 0), 19u);
+  EXPECT_EQ(c.at(0, 1), 22u);
+  EXPECT_EQ(c.at(1, 0), 43u);
+  EXPECT_EQ(c.at(1, 1), 50u);
+}
+
+TEST(Matmul, RectangularAndConformability) {
+  PrimeField f(97);
+  std::mt19937_64 rng(1);
+  Matrix a = random_matrix(3, 5, f, rng);
+  Matrix b = random_matrix(5, 2, f, rng);
+  Matrix c = matmul_classical(a, b, f);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_THROW(matmul_classical(b, a, f), std::invalid_argument);
+}
+
+TEST(Matmul, LargeModulusPath) {
+  // Modulus above 2^32 exercises the per-term reduction kernel.
+  PrimeField f(next_prime((u64{1} << 61) - 50));
+  std::mt19937_64 rng(2);
+  Matrix a = random_matrix(4, 4, f, rng), b = random_matrix(4, 4, f, rng);
+  Matrix c = matmul_classical(a, b, f);
+  // Spot-check one entry against direct accumulation.
+  u64 acc = 0;
+  for (int t = 0; t < 4; ++t) {
+    acc = f.add(acc, f.mul(a.at(2, t), b.at(t, 3)));
+  }
+  EXPECT_EQ(c.at(2, 3), acc);
+}
+
+class StrassenSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StrassenSizes, MatchesClassical) {
+  PrimeField f(find_ntt_prime(1 << 20, 8));
+  std::mt19937_64 rng(GetParam());
+  const std::size_t n = GetParam();
+  Matrix a = random_matrix(n, n, f, rng), b = random_matrix(n, n, f, rng);
+  Matrix fast = matmul_strassen(a, b, f, /*cutoff=*/8);
+  Matrix slow = matmul_classical(a, b, f);
+  EXPECT_EQ(fast, slow) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StrassenSizes,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 16, 17, 31, 32,
+                                           45, 64));
+
+TEST(Matmul, AssociativityProperty) {
+  PrimeField f(7681);
+  std::mt19937_64 rng(3);
+  Matrix a = random_matrix(6, 6, f, rng), b = random_matrix(6, 6, f, rng),
+         c = random_matrix(6, 6, f, rng);
+  Matrix ab_c = matmul(matmul(a, b, f), c, f);
+  Matrix a_bc = matmul(a, matmul(b, c, f), f);
+  EXPECT_EQ(ab_c, a_bc);
+}
+
+TEST(Tensor, NaiveDecompositionVerifies) {
+  for (std::size_t n0 : {1u, 2u, 3u}) {
+    TrilinearDecomposition dec = naive_decomposition(n0);
+    EXPECT_EQ(dec.rank, n0 * n0 * n0);
+    EXPECT_TRUE(dec.verify()) << "n0=" << n0;
+  }
+}
+
+TEST(Tensor, StrassenDecompositionVerifies) {
+  TrilinearDecomposition dec = strassen_decomposition();
+  EXPECT_EQ(dec.n0, 2u);
+  EXPECT_EQ(dec.rank, 7u);
+  EXPECT_TRUE(dec.verify());
+}
+
+TEST(Tensor, CorruptedDecompositionFailsVerify) {
+  TrilinearDecomposition dec = strassen_decomposition();
+  dec.alpha[3] += 1;
+  EXPECT_FALSE(dec.verify());
+}
+
+TEST(Tensor, PowerCoefficientFactorizes) {
+  TrilinearDecomposition dec = strassen_decomposition();
+  PrimeField f(7681);
+  // t=2: alpha_{de}(r) = alpha_{d1e1}(r1) * alpha_{d2e2}(r2).
+  std::mt19937_64 rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    u64 d = rng() % 4, e = rng() % 4, r = rng() % 49;
+    u64 direct = dec.alpha_power(d, e, r, 2, f);
+    u64 a1 = dec.alpha_power(d / 2, e / 2, r / 7, 1, f);
+    u64 a2 = dec.alpha_power(d % 2, e % 2, r % 7, 1, f);
+    EXPECT_EQ(direct, f.mul(a1, a2));
+  }
+}
+
+class DecompositionMatmul
+    : public ::testing::TestWithParam<std::tuple<bool, unsigned>> {};
+
+TEST_P(DecompositionMatmul, KroneckerPowerMultiplies) {
+  const bool use_strassen = std::get<0>(GetParam());
+  const unsigned t = std::get<1>(GetParam());
+  TrilinearDecomposition dec =
+      use_strassen ? strassen_decomposition() : naive_decomposition(2);
+  PrimeField f(find_ntt_prime(1 << 16, 8));
+  std::mt19937_64 rng(t + (use_strassen ? 100 : 0));
+  const std::size_t n = ipow(2, t);
+  Matrix a = random_matrix(n, n, f, rng), b = random_matrix(n, n, f, rng);
+  Matrix via_tensor = matmul_via_decomposition(a, b, dec, t, f);
+  Matrix direct = matmul_classical(a, b, f);
+  EXPECT_EQ(via_tensor, direct)
+      << (use_strassen ? "strassen" : "naive") << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DecompositionMatmul,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(Tensor, DecompositionMatmulRejectsWrongSize) {
+  TrilinearDecomposition dec = strassen_decomposition();
+  PrimeField f(97);
+  Matrix a(3, 3), b(3, 3);
+  EXPECT_THROW(matmul_via_decomposition(a, b, dec, 2, f),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camelot

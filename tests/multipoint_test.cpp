@@ -1,0 +1,156 @@
+#include "poly/multipoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "field/primes.hpp"
+#include "poly/lagrange.hpp"
+
+namespace camelot {
+namespace {
+
+Poly random_poly(std::size_t deg, const PrimeField& f, std::mt19937_64& rng) {
+  Poly p;
+  p.c.resize(deg + 1);
+  for (u64& v : p.c) v = rng() % f.modulus();
+  return p;
+}
+
+class TreeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeSizes, EvaluateMatchesHorner) {
+  PrimeField f(find_ntt_prime(1 << 12, 12));
+  std::mt19937_64 rng(GetParam());
+  const std::size_t n = GetParam();
+  std::vector<u64> pts(n);
+  std::iota(pts.begin(), pts.end(), u64{1});
+  SubproductTree tree(pts, f);
+  Poly p = random_poly(n - 1, f, rng);
+  auto fast = tree.evaluate(p, f);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(fast[i], poly_eval(p, pts[i], f)) << "i=" << i << " n=" << n;
+  }
+}
+
+TEST_P(TreeSizes, InterpolateRoundTrip) {
+  PrimeField f(find_ntt_prime(1 << 12, 12));
+  std::mt19937_64 rng(GetParam() + 100);
+  const std::size_t n = GetParam();
+  std::vector<u64> pts(n), vals(n);
+  std::iota(pts.begin(), pts.end(), u64{3});
+  for (u64& v : vals) v = rng() % f.modulus();
+  SubproductTree tree(pts, f);
+  Poly p = tree.interpolate(vals, f);
+  EXPECT_LT(p.degree(), static_cast<int>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(poly_eval(p, pts[i], f), vals[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeSizes,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 9, 16, 33, 100,
+                                           128, 200));
+
+TEST(SubproductTree, RootIsProductOfLinearFactors) {
+  PrimeField f(97);
+  std::vector<u64> pts = {2, 5, 11};
+  SubproductTree tree(pts, f);
+  const Poly& root = tree.root();
+  EXPECT_EQ(root.degree(), 3);
+  for (u64 x : pts) EXPECT_EQ(poly_eval(root, x, f), 0u);
+  EXPECT_NE(poly_eval(root, 1, f), 0u);
+  // Monic.
+  EXPECT_EQ(root.c.back(), 1u);
+}
+
+TEST(SubproductTree, EvaluateHighDegreePolynomial) {
+  // Degree of p far exceeds the number of points: the top-level
+  // reduction mod the root must kick in.
+  PrimeField f(7681);
+  std::mt19937_64 rng(9);
+  std::vector<u64> pts = {1, 2, 3, 4, 5};
+  SubproductTree tree(pts, f);
+  Poly p = random_poly(60, f, rng);
+  auto got = tree.evaluate(p, f);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(got[i], poly_eval(p, pts[i], f));
+  }
+}
+
+TEST(SubproductTree, InterpolationRecoversPolynomial) {
+  PrimeField f(7681);
+  std::mt19937_64 rng(10);
+  Poly p = random_poly(20, f, rng);
+  std::vector<u64> pts(21);
+  std::iota(pts.begin(), pts.end(), u64{1});
+  auto vals = multipoint_evaluate(p, pts, f);
+  Poly q = interpolate(pts, vals, f);
+  EXPECT_TRUE(poly_equal(p, q));
+}
+
+TEST(SubproductTree, RejectsEmptyAndMismatch) {
+  PrimeField f(17);
+  EXPECT_THROW(SubproductTree({}, f), std::invalid_argument);
+  SubproductTree tree(std::vector<u64>{1, 2}, f);
+  std::vector<u64> vals = {1};
+  EXPECT_THROW(tree.interpolate(vals, f), std::invalid_argument);
+}
+
+TEST(Lagrange, BasisIsIndicatorOnNodes) {
+  PrimeField f(7681);
+  for (std::size_t count : {1u, 2u, 5u, 16u}) {
+    for (std::size_t i = 0; i < count; ++i) {
+      auto basis = lagrange_basis_consecutive(10, count, 10 + i, f);
+      for (std::size_t j = 0; j < count; ++j) {
+        EXPECT_EQ(basis[j], j == i ? 1u : 0u);
+      }
+    }
+  }
+}
+
+TEST(Lagrange, MatchesInterpolationOffNodes) {
+  PrimeField f(7681);
+  std::mt19937_64 rng(11);
+  const std::size_t count = 12;
+  std::vector<u64> vals(count);
+  for (u64& v : vals) v = rng() % f.modulus();
+  std::vector<u64> pts(count);
+  std::iota(pts.begin(), pts.end(), u64{1});
+  Poly p = interpolate(pts, vals, f);
+  for (u64 x0 : {0ull, 100ull, 5000ull, 7680ull}) {
+    EXPECT_EQ(lagrange_eval_consecutive(1, vals, x0, f), poly_eval(p, x0, f))
+        << x0;
+  }
+}
+
+TEST(Lagrange, PartitionOfUnity) {
+  // Interpolating the all-ones values gives the constant 1 polynomial,
+  // so the basis values sum to 1 at any x0.
+  PrimeField f(1'000'003);
+  for (u64 x0 : {7ull, 123'456ull, 999'999ull}) {
+    auto basis = lagrange_basis_consecutive(1, 20, x0, f);
+    u64 sum = 0;
+    for (u64 b : basis) sum = f.add(sum, b);
+    EXPECT_EQ(sum, 1u);
+  }
+}
+
+TEST(Lagrange, RejectsDegenerate) {
+  PrimeField f(17);
+  EXPECT_THROW(lagrange_basis_consecutive(0, 0, 1, f), std::invalid_argument);
+  EXPECT_THROW(lagrange_basis_consecutive(0, 17, 1, f),
+               std::invalid_argument);
+}
+
+TEST(Lagrange, StartOffsetConsistency) {
+  // Basis over nodes 5..9 at x0 equals basis over 0..4 at x0-5.
+  PrimeField f(101);
+  auto a = lagrange_basis_consecutive(5, 5, 77, f);
+  auto b = lagrange_basis_consecutive(0, 5, 72, f);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,172 @@
+#include "rs/gao.hpp"
+#include "rs/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "field/primes.hpp"
+
+namespace camelot {
+namespace {
+
+Poly random_message(std::size_t d, const PrimeField& f,
+                    std::mt19937_64& rng) {
+  Poly p;
+  p.c.resize(d + 1);
+  for (u64& v : p.c) v = rng() % f.modulus();
+  return p;
+}
+
+TEST(ReedSolomon, EncodeIsBatchEvaluation) {
+  PrimeField f(7681);
+  ReedSolomonCode code(f, 3, std::size_t{10});
+  Poly msg{{5, 0, 2, 1}};  // x^3 + 2x^2 + 5
+  auto cw = code.encode(msg);
+  ASSERT_EQ(cw.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(cw[i], poly_eval(msg, i + 1, f));
+  }
+}
+
+TEST(ReedSolomon, ParameterValidation) {
+  PrimeField f(17);
+  EXPECT_THROW(ReedSolomonCode(f, 5, std::size_t{5}), std::invalid_argument);
+  EXPECT_THROW(ReedSolomonCode(f, 1, std::size_t{17}), std::invalid_argument);
+  EXPECT_NO_THROW(ReedSolomonCode(f, 1, std::size_t{16}));
+  ReedSolomonCode code(f, 2, std::size_t{10});
+  EXPECT_EQ(code.decoding_radius(), 3u);
+  Poly too_big{{1, 1, 1, 1}};
+  EXPECT_THROW(code.encode(too_big), std::invalid_argument);
+}
+
+TEST(ReedSolomon, MinimumDistanceProperty) {
+  // Two distinct codewords of a [e, d+1] RS code agree in <= d places.
+  PrimeField f(97);
+  ReedSolomonCode code(f, 4, std::size_t{20});
+  std::mt19937_64 rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Poly m1 = random_message(4, f, rng), m2 = random_message(4, f, rng);
+    if (poly_equal(m1, m2)) continue;
+    auto c1 = code.encode(m1), c2 = code.encode(m2);
+    int agreements = 0;
+    for (std::size_t i = 0; i < 20; ++i) agreements += c1[i] == c2[i];
+    EXPECT_LE(agreements, 4);
+  }
+}
+
+TEST(Gao, DecodeCleanWord) {
+  PrimeField f(7681);
+  std::mt19937_64 rng(2);
+  ReedSolomonCode code(f, 6, std::size_t{25});
+  Poly msg = random_message(6, f, rng);
+  auto cw = code.encode(msg);
+  GaoResult res = gao_decode(code, cw);
+  ASSERT_EQ(res.status, DecodeStatus::kOk);
+  EXPECT_TRUE(poly_equal(res.message, msg));
+  EXPECT_TRUE(res.error_locations.empty());
+  EXPECT_EQ(res.corrected, cw);
+}
+
+class GaoErrors : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GaoErrors, CorrectsUpToRadiusAndReportsLocations) {
+  PrimeField f(find_ntt_prime(1 << 10, 10));
+  std::mt19937_64 rng(GetParam() + 17);
+  const std::size_t d = 10, e = 41;  // radius = 15
+  ReedSolomonCode code(f, d, e);
+  ASSERT_EQ(code.decoding_radius(), 15u);
+  const std::size_t nerr = GetParam();
+  Poly msg = random_message(d, f, rng);
+  auto cw = code.encode(msg);
+  auto received = cw;
+  // Corrupt nerr distinct positions with guaranteed-different values.
+  std::vector<std::size_t> pos(e);
+  std::iota(pos.begin(), pos.end(), std::size_t{0});
+  std::shuffle(pos.begin(), pos.end(), rng);
+  std::vector<std::size_t> corrupted(pos.begin(), pos.begin() + nerr);
+  std::sort(corrupted.begin(), corrupted.end());
+  for (std::size_t p : corrupted) {
+    received[p] = f.add(received[p], 1 + rng() % (f.modulus() - 1));
+  }
+  GaoResult res = gao_decode(code, received);
+  ASSERT_EQ(res.status, DecodeStatus::kOk) << "errors=" << nerr;
+  EXPECT_TRUE(poly_equal(res.message, msg));
+  EXPECT_EQ(res.error_locations, corrupted);
+  EXPECT_EQ(res.corrected, cw);
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorCounts, GaoErrors,
+                         ::testing::Values(0, 1, 2, 5, 10, 14, 15));
+
+TEST(Gao, FailsBeyondRadiusForRandomCorruption) {
+  // With many more errors than the radius the received word is w.h.p.
+  // not within radius of any codeword -> decoding failure.
+  PrimeField f(find_ntt_prime(1 << 16, 16));
+  std::mt19937_64 rng(3);
+  const std::size_t d = 8, e = 25;  // radius = 8
+  ReedSolomonCode code(f, d, e);
+  Poly msg = random_message(d, f, rng);
+  auto received = code.encode(msg);
+  for (std::size_t i = 0; i < 20; ++i) {
+    received[i] = rng() % f.modulus();
+  }
+  GaoResult res = gao_decode(code, received);
+  // Either decode failure, or decode to something that differs from
+  // msg in which case the caller's probabilistic check would catch it.
+  if (res.status == DecodeStatus::kOk) {
+    EXPECT_FALSE(poly_equal(res.message, msg));
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST(Gao, DecodesToNearbyCodewordNotOriginal) {
+  // If the adversary replaces the word with a *valid different*
+  // codeword the decoder must return that codeword (zero errors).
+  PrimeField f(7681);
+  std::mt19937_64 rng(4);
+  ReedSolomonCode code(f, 3, std::size_t{15});
+  Poly m1 = random_message(3, f, rng);
+  Poly m2 = random_message(3, f, rng);
+  auto cw2 = code.encode(m2);
+  GaoResult res = gao_decode(code, cw2);
+  ASSERT_EQ(res.status, DecodeStatus::kOk);
+  EXPECT_TRUE(poly_equal(res.message, m2));
+  EXPECT_FALSE(poly_equal(res.message, m1));
+}
+
+TEST(Gao, WorksAtFullLengthEqualsFieldMinusOne) {
+  // e = q - 1 uses every nonzero point.
+  PrimeField f(31);
+  ReedSolomonCode code(f, 4, std::size_t{30});
+  std::mt19937_64 rng(5);
+  Poly msg = random_message(4, f, rng);
+  auto received = code.encode(msg);
+  received[7] = f.add(received[7], 3);
+  received[21] = f.add(received[21], 9);
+  GaoResult res = gao_decode(code, received);
+  ASSERT_EQ(res.status, DecodeStatus::kOk);
+  EXPECT_TRUE(poly_equal(res.message, msg));
+  EXPECT_EQ(res.error_locations, (std::vector<std::size_t>{7, 21}));
+}
+
+TEST(Gao, RejectsWrongLength) {
+  PrimeField f(17);
+  ReedSolomonCode code(f, 2, std::size_t{10});
+  std::vector<u64> short_word(5, 0);
+  EXPECT_THROW(gao_decode(code, short_word), std::invalid_argument);
+}
+
+TEST(Gao, ZeroMessageAllZeroCodeword) {
+  PrimeField f(97);
+  ReedSolomonCode code(f, 5, std::size_t{20});
+  std::vector<u64> zeros(20, 0);
+  GaoResult res = gao_decode(code, zeros);
+  ASSERT_EQ(res.status, DecodeStatus::kOk);
+  EXPECT_TRUE(res.message.is_zero());
+}
+
+}  // namespace
+}  // namespace camelot

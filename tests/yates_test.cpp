@@ -1,0 +1,231 @@
+#include "yates/poly_ext.hpp"
+#include "yates/split_sparse.hpp"
+#include "yates/yates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "field/primes.hpp"
+#include "poly/lagrange.hpp"
+
+namespace camelot {
+namespace {
+
+std::vector<u64> random_vector(std::size_t n, const PrimeField& f,
+                               std::mt19937_64& rng) {
+  std::vector<u64> v(n);
+  for (u64& x : v) x = rng() % f.modulus();
+  return v;
+}
+
+std::vector<u64> random_base(std::size_t t, std::size_t s,
+                             const PrimeField& f, std::mt19937_64& rng) {
+  std::vector<u64> b(t * s);
+  for (u64& x : b) x = rng() % f.modulus();
+  return b;
+}
+
+TEST(Yates, IdentityBase) {
+  PrimeField f(97);
+  std::mt19937_64 rng(1);
+  // A = I (2x2): the transform is the identity for any k.
+  std::vector<u64> base = {1, 0, 0, 1};
+  auto x = random_vector(8, f, rng);
+  auto y = yates_apply(f, base, 2, 2, x, 3);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Yates, SingleLevelIsMatrixVector) {
+  PrimeField f(101);
+  std::mt19937_64 rng(2);
+  auto base = random_base(3, 2, f, rng);
+  auto x = random_vector(2, f, rng);
+  auto y = yates_apply(f, base, 3, 2, x, 1);
+  ASSERT_EQ(y.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(y[i], f.add(f.mul(base[i * 2], x[0]), f.mul(base[i * 2 + 1], x[1])));
+  }
+}
+
+TEST(Yates, ZeroLevelsIsIdentity) {
+  PrimeField f(97);
+  std::vector<u64> base = {1, 2, 3, 4};
+  std::vector<u64> x = {42};
+  auto y = yates_apply(f, base, 2, 2, x, 0);
+  EXPECT_EQ(y, x);
+}
+
+class YatesShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 unsigned>> {};
+
+TEST_P(YatesShapes, FastMatchesNaive) {
+  auto [t, s, k] = GetParam();
+  PrimeField f(7681);
+  std::mt19937_64 rng(t * 100 + s * 10 + k);
+  auto base = random_base(t, s, f, rng);
+  auto x = random_vector(ipow(s, k), f, rng);
+  auto fast = yates_apply(f, base, t, s, x, k);
+  auto naive = yates_apply_naive(f, base, t, s, x, k);
+  EXPECT_EQ(fast, naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, YatesShapes,
+    ::testing::Values(std::tuple<std::size_t, std::size_t, unsigned>{2, 2, 1},
+                      std::tuple<std::size_t, std::size_t, unsigned>{2, 2, 4},
+                      std::tuple<std::size_t, std::size_t, unsigned>{3, 2, 3},
+                      std::tuple<std::size_t, std::size_t, unsigned>{4, 3, 2},
+                      std::tuple<std::size_t, std::size_t, unsigned>{7, 4, 2},
+                      std::tuple<std::size_t, std::size_t, unsigned>{2, 1, 5},
+                      std::tuple<std::size_t, std::size_t, unsigned>{5, 5,
+                                                                     2}));
+
+TEST(Yates, SubsetZetaTransform) {
+  // Base [[1,0],[1,1]] computes the subset-sum (zeta) transform; check
+  // on a known example over k=3 ground elements.
+  PrimeField f(1'000'003);
+  std::vector<u64> base = {1, 0, 1, 1};
+  // x[S] = bitmask value; digits MSB-first means bit 0 of our index is
+  // the LAST digit, which is fine as long as we are consistent.
+  std::vector<u64> x = {1, 2, 4, 8, 16, 32, 64, 128};
+  auto y = yates_apply(f, base, 2, 2, x, 3);
+  for (u64 s = 0; s < 8; ++s) {
+    u64 expect = 0;
+    for (u64 sub = 0; sub < 8; ++sub) {
+      if ((sub & s) == sub) expect += x[sub];
+    }
+    EXPECT_EQ(y[s], expect) << "S=" << s;
+  }
+}
+
+TEST(Yates, RejectsBadShapes) {
+  PrimeField f(17);
+  std::vector<u64> base = {1, 2, 3};  // not t*s
+  std::vector<u64> x = {1, 2};
+  EXPECT_THROW(yates_apply(f, base, 2, 2, x, 1), std::invalid_argument);
+  std::vector<u64> base2 = {1, 2, 3, 4};
+  std::vector<u64> x2 = {1, 2, 3};  // not s^k
+  EXPECT_THROW(yates_apply(f, base2, 2, 2, x2, 1), std::invalid_argument);
+}
+
+std::vector<SparseEntry> sparsify(const std::vector<u64>& x) {
+  std::vector<SparseEntry> d;
+  for (u64 i = 0; i < x.size(); ++i) {
+    if (x[i] != 0) d.push_back({i, x[i]});
+  }
+  return d;
+}
+
+class SplitSparseEll : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitSparseEll, PartsAssembleToFullTransform) {
+  PrimeField f(7681);
+  std::mt19937_64 rng(GetParam() + 50);
+  const std::size_t t = 3, s = 2;
+  const unsigned k = 4;
+  auto base = random_base(t, s, f, rng);
+  // Sparse input: ~1/4 of entries nonzero.
+  std::vector<u64> x(ipow(s, k), 0);
+  for (u64 i = 0; i < x.size(); ++i) {
+    if (rng() % 4 == 0) x[i] = 1 + rng() % (f.modulus() - 1);
+  }
+  if (sparsify(x).empty()) x[3] = 7;
+  SplitSparseYates ss(f, base, t, s, k, sparsify(x), GetParam());
+  auto full = yates_apply(f, base, t, s, x, k);
+  ASSERT_EQ(ss.num_parts() * ss.part_size(), full.size());
+  for (u64 outer = 0; outer < ss.num_parts(); ++outer) {
+    auto part = ss.part(outer);
+    ASSERT_EQ(part.size(), ss.part_size());
+    for (u64 inner = 0; inner < ss.part_size(); ++inner) {
+      EXPECT_EQ(part[inner], full[inner * ss.num_parts() + outer])
+          << "outer=" << outer << " inner=" << inner
+          << " ell=" << ss.ell();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ells, SplitSparseEll,
+                         ::testing::Values(-1, 0, 1, 2, 3, 4));
+
+TEST(SplitSparse, DefaultEllMatchesPaperChoice) {
+  PrimeField f(97);
+  std::vector<u64> base = {1, 0, 1, 1, 0, 1};  // t=3, s=2
+  // |D| = 5 -> ell = ceil(log_3 5) = 2.
+  std::vector<SparseEntry> d = {{0, 1}, {1, 1}, {2, 1}, {3, 1}, {4, 1}};
+  SplitSparseYates ss(f, base, 3, 2, 5, d);
+  EXPECT_EQ(ss.ell(), 2u);
+  EXPECT_EQ(ss.num_parts(), ipow(3, 3));
+  EXPECT_EQ(ss.part_size(), 9u);
+}
+
+TEST(SplitSparse, RequiresTGeqS) {
+  PrimeField f(17);
+  std::vector<u64> base = {1, 2, 3, 4, 5, 6};  // 2x3
+  std::vector<SparseEntry> d = {{0, 1}};
+  EXPECT_THROW(SplitSparseYates(f, base, 2, 3, 2, d), std::invalid_argument);
+}
+
+TEST(PolyExt, MatchesSplitSparseOnOuterDomain) {
+  PrimeField f(find_ntt_prime(1 << 10, 6));
+  std::mt19937_64 rng(60);
+  const std::size_t t = 3, s = 3;
+  const unsigned k = 3;
+  auto base = random_base(t, s, f, rng);
+  std::vector<u64> x(ipow(s, k), 0);
+  for (u64 i = 0; i < x.size(); ++i) {
+    if (rng() % 3 == 0) x[i] = 1 + rng() % (f.modulus() - 1);
+  }
+  x[0] = 5;
+  auto d = sparsify(x);
+  for (int ell : {0, 1, 2}) {
+    SplitSparseYates ss(f, base, t, s, k, d, ell);
+    YatesPolynomialExtension pe(f, base, t, s, k, d, ell);
+    ASSERT_EQ(pe.num_outer(), ss.num_parts());
+    for (u64 outer = 0; outer < ss.num_parts(); ++outer) {
+      // The polynomial extension at z0 = outer+1 equals the part.
+      EXPECT_EQ(pe.evaluate(outer + 1), ss.part(outer))
+          << "ell=" << ell << " outer=" << outer;
+    }
+  }
+}
+
+TEST(PolyExt, EntriesAreLowDegreePolynomials) {
+  // Each part entry, as a function of z0, must be a polynomial of
+  // degree <= t^{k-ell}-1: check by interpolating from t^{k-ell}
+  // points and predicting a fresh point.
+  PrimeField f(find_ntt_prime(1 << 10, 6));
+  std::mt19937_64 rng(61);
+  const std::size_t t = 2, s = 2;
+  const unsigned k = 4;
+  std::vector<u64> base = {1, 1, 2, 3};
+  std::vector<SparseEntry> d = {{1, 4}, {7, 9}, {11, 2}};
+  YatesPolynomialExtension pe(f, base, t, s, k, d, 2);
+  const u64 m = pe.num_outer();  // 4
+  ASSERT_EQ(pe.poly_degree_bound(), m - 1);
+  // Gather values at z0 = 1..m for every entry.
+  std::vector<std::vector<u64>> vals(m);
+  for (u64 z0 = 1; z0 <= m; ++z0) vals[z0 - 1] = pe.evaluate(z0);
+  for (u64 probe : {m + 5, m + 100, u64{500}}) {
+    auto got = pe.evaluate(probe);
+    for (u64 inner = 0; inner < pe.part_size(); ++inner) {
+      std::vector<u64> series(m);
+      for (u64 i = 0; i < m; ++i) series[i] = vals[i][inner];
+      u64 predicted = lagrange_eval_consecutive(1, series, probe, f);
+      EXPECT_EQ(got[inner], predicted) << "inner=" << inner;
+    }
+  }
+}
+
+TEST(PolyExt, FieldTooSmallRejected) {
+  PrimeField f(5);
+  std::vector<u64> base = {1, 1, 1, 2};
+  std::vector<SparseEntry> d = {{0, 1}};
+  // num_outer = 2^3 = 8 >= q = 5.
+  EXPECT_THROW(YatesPolynomialExtension(f, base, 2, 2, 3, d, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camelot
