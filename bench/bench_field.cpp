@@ -1,0 +1,256 @@
+// Field-backend perf trajectory: division-based baseline vs the
+// Montgomery pipeline, emitted as BENCH_field.json so later PRs can
+// track ns/op for scalar mul, the NTT and multipoint evaluation.
+//
+// The "before" paths reimplement the seed's division-based kernels
+// locally (hardware-division reduction of every 128-bit product);
+// the "after" paths call the library, which now runs the Montgomery
+// backend end-to-end.
+#include <cstdio>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "field/montgomery.hpp"
+#include "field/primes.hpp"
+#include "poly/multipoint.hpp"
+#include "poly/ntt.hpp"
+#include "poly/poly.hpp"
+
+namespace camelot {
+namespace {
+
+volatile u64 g_sink;  // defeats dead-code elimination
+
+// ---- division-based reference kernels (the seed's hot paths) -------------
+
+u64 ref_mul(u64 a, u64 b, u64 q) {
+  return static_cast<u64>(static_cast<u128>(a) * b % q);
+}
+
+int log2_exact(std::size_t n) {
+  int k = 0;
+  while ((std::size_t{1} << k) < n) ++k;
+  return k;
+}
+
+// The seed's radix-2 NTT: every butterfly product reduced by division.
+void ref_ntt_inplace(std::vector<u64>& a, bool inverse, const PrimeField& f) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  const u64 q = f.modulus();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    u64 wlen = f.root_of_unity(log2_exact(len));
+    if (inverse) wlen = f.inv(wlen);
+    for (std::size_t i = 0; i < n; i += len) {
+      u64 w = 1;
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const u64 u = a[i + j];
+        const u64 v = ref_mul(a[i + j + len / 2], w, q);
+        a[i + j] = f.add(u, v);
+        a[i + j + len / 2] = f.sub(u, v);
+        w = ref_mul(w, wlen, q);
+      }
+    }
+  }
+  if (inverse) {
+    const u64 n_inv = f.inv(f.reduce(n));
+    for (u64& v : a) v = ref_mul(v, n_inv, q);
+  }
+}
+
+// The seed's subproduct-tree multipoint evaluation, instantiated with
+// the division-based backend (poly_rem<PrimeField> reduces every
+// product by hardware division).
+struct RefTree {
+  std::vector<std::vector<Poly>> levels;
+
+  RefTree(std::span<const u64> points, const PrimeField& f) {
+    std::vector<Poly> level;
+    level.reserve(points.size());
+    for (u64 x : points) level.push_back(Poly::linear_root(x, f));
+    levels.push_back(std::move(level));
+    while (levels.back().size() > 1) {
+      const auto& prev = levels.back();
+      std::vector<Poly> next;
+      next.reserve((prev.size() + 1) / 2);
+      for (std::size_t i = 0; i < prev.size(); i += 2) {
+        if (i + 1 < prev.size()) {
+          next.push_back(poly_mul_karatsuba(prev[i], prev[i + 1], f));
+        } else {
+          next.push_back(prev[i]);
+        }
+      }
+      levels.push_back(std::move(next));
+    }
+  }
+
+  void eval_rec(const Poly& p, std::size_t level, std::size_t idx,
+                std::size_t lo, std::size_t hi, const PrimeField& f,
+                std::vector<u64>& out) const {
+    if (level == 0) {
+      out[lo] = p.coeff(0);
+      return;
+    }
+    const std::size_t span = std::size_t{1} << (level - 1);
+    const std::size_t mid = std::min(hi, lo + span);
+    const auto& child = levels[level - 1];
+    const std::size_t left = 2 * idx, right = 2 * idx + 1;
+    if (right >= child.size()) {
+      eval_rec(p, level - 1, left, lo, hi, f, out);
+      return;
+    }
+    Poly pl = p.degree() >= child[left].degree() ? poly_rem(p, child[left], f)
+                                                 : p;
+    Poly pr = p.degree() >= child[right].degree()
+                  ? poly_rem(p, child[right], f)
+                  : p;
+    eval_rec(pl, level - 1, left, lo, mid, f, out);
+    eval_rec(pr, level - 1, right, mid, hi, f, out);
+  }
+
+  std::vector<u64> evaluate(const Poly& p, std::size_t n,
+                            const PrimeField& f) const {
+    std::vector<u64> out(n, 0);
+    Poly reduced = p;
+    if (reduced.degree() >= levels.back()[0].degree()) {
+      reduced = poly_rem(reduced, levels.back()[0], f);
+    }
+    eval_rec(reduced, levels.size() - 1, 0, 0, n, f, out);
+    return out;
+  }
+};
+
+// ---- timing ---------------------------------------------------------------
+
+template <typename Fn>
+double ns_per_op(Fn&& fn, double min_seconds = 0.25) {
+  // fn() performs one "op" and returns the number of inner units it
+  // covered (1 for a whole transform, n for an array of muls).
+  double total_units = fn();  // warm-up counts too
+  benchutil::Timer t;
+  double elapsed = 0.0;
+  total_units = 0.0;
+  do {
+    total_units += fn();
+    elapsed = t.seconds();
+  } while (elapsed < min_seconds);
+  return elapsed * 1e9 / total_units;
+}
+
+struct Entry {
+  const char* name;
+  double before_ns;
+  double after_ns;
+};
+
+}  // namespace
+}  // namespace camelot
+
+int main(int argc, char** argv) {
+  using namespace camelot;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_field.json";
+
+  const u64 q = find_ntt_prime(u64{1} << 40, 20);  // large, NTT-friendly
+  PrimeField f(q);
+  MontgomeryField m(f);
+  std::mt19937_64 rng(0xB16B00B5);
+
+  std::vector<Entry> entries;
+
+  // --- scalar mul ---------------------------------------------------------
+  {
+    constexpr std::size_t kN = 1 << 14;
+    std::vector<u64> a(kN), b(kN);
+    for (auto& v : a) v = rng() % q;
+    for (auto& v : b) v = rng() % q;
+    const std::vector<u64> am = m.to_mont_vec(a), bm = m.to_mont_vec(b);
+    const double before = ns_per_op([&] {
+      u64 acc = 0;
+      for (std::size_t i = 0; i < kN; ++i) acc ^= ref_mul(a[i], b[i], q);
+      g_sink = acc;
+      return static_cast<double>(kN);
+    });
+    const double after = ns_per_op([&] {
+      u64 acc = 0;
+      for (std::size_t i = 0; i < kN; ++i) acc ^= m.mul(am[i], bm[i]);
+      g_sink = acc;
+      return static_cast<double>(kN);
+    });
+    entries.push_back({"mul", before, after});
+  }
+
+  // --- NTT (forward transform, length 2^14) -------------------------------
+  {
+    constexpr std::size_t kN = 1 << 14;
+    std::vector<u64> base(kN);
+    for (auto& v : base) v = rng() % q;
+    const double before = ns_per_op([&] {
+      std::vector<u64> a = base;
+      ref_ntt_inplace(a, false, f);
+      g_sink = a[0];
+      return 1.0;
+    });
+    const double after = ns_per_op([&] {
+      std::vector<u64> a = base;
+      ntt_inplace(a, false, f);
+      g_sink = a[0];
+      return 1.0;
+    });
+    entries.push_back({"ntt", before, after});
+  }
+
+  // --- multipoint evaluation (2048 points, degree 2047) -------------------
+  {
+    constexpr std::size_t kN = 2048;
+    std::vector<u64> pts(kN);
+    std::iota(pts.begin(), pts.end(), u64{1});
+    Poly p;
+    p.c.resize(kN);
+    for (auto& v : p.c) v = rng() % q;
+    const RefTree ref_tree(pts, f);
+    const SubproductTree tree(pts, f);
+    const double before = ns_per_op([&] {
+      g_sink = ref_tree.evaluate(p, kN, f)[0];
+      return 1.0;
+    });
+    const double after = ns_per_op([&] {
+      g_sink = tree.evaluate(p, f)[0];
+      return 1.0;
+    });
+    entries.push_back({"multipoint_eval", before, after});
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"prime\": %llu,\n",
+               static_cast<unsigned long long>(q));
+  std::fprintf(out, "  \"benchmarks\": {\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(out,
+                 "    \"%s\": {\"division_ns_per_op\": %.2f, "
+                 "\"montgomery_ns_per_op\": %.2f, \"speedup\": %.2f}%s\n",
+                 e.name, e.before_ns, e.after_ns, e.before_ns / e.after_ns,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+
+  for (const Entry& e : entries) {
+    std::printf("%-16s before %10.2f ns/op   after %10.2f ns/op   %.2fx\n",
+                e.name, e.before_ns, e.after_ns, e.before_ns / e.after_ns);
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -27,6 +27,20 @@ void BM_MatmulClassical(benchmark::State& state) {
 }
 BENCHMARK(BM_MatmulClassical)->Range(32, 512);
 
+void BM_MatmulClassicalLargePrime(benchmark::State& state) {
+  // q >= 2^32 disables the kernel's lazy 128-bit accumulation, so
+  // every product pays a hardware-division reduction. This is the
+  // regime a Montgomery matmul backend would win (see ROADMAP open
+  // items); tracked here so the trajectory is visible.
+  PrimeField f(next_prime((u64{1} << 61) - 50));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, f, 5), b = random_matrix(n, f, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_classical(a, b, f));
+  }
+}
+BENCHMARK(BM_MatmulClassicalLargePrime)->Range(32, 256);
+
 void BM_MatmulStrassen(benchmark::State& state) {
   PrimeField f(find_ntt_prime(1 << 20, 8));
   const auto n = static_cast<std::size_t>(state.range(0));

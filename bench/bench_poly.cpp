@@ -52,6 +52,20 @@ void BM_MulNtt(benchmark::State& state) {
 }
 BENCHMARK(BM_MulNtt)->Range(64, 16384);
 
+void BM_MulNttMontDomain(benchmark::State& state) {
+  // Domain-to-domain convolution: what a Montgomery-resident pipeline
+  // pays once the boundary conversions are amortized away.
+  PrimeField f(find_ntt_prime(1 << 20, 20));
+  MontgomeryField m(f);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Poly a = random_poly(n, f, 1), b = random_poly(n, f, 2);
+  const std::vector<u64> am = m.to_mont_vec(a.c), bm = m.to_mont_vec(b.c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ntt_convolve(am, bm, m));
+  }
+}
+BENCHMARK(BM_MulNttMontDomain)->Range(64, 16384);
+
 void BM_MultipointEvaluate(benchmark::State& state) {
   PrimeField f(find_ntt_prime(1 << 20, 20));
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -88,6 +102,20 @@ void BM_LagrangeBasisConsecutive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LagrangeBasisConsecutive)->Range(256, 65536);
+
+void BM_LagrangeBasisCached(benchmark::State& state) {
+  // Batched-evaluation shape: the factorial cache is built once and
+  // each point costs one inversion-free prefix/suffix sweep.
+  PrimeField f(find_ntt_prime(1 << 20, 20));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ConsecutiveLagrange cache(1, n, f);
+  u64 x0 = 999'983;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.basis_mont(x0));
+    ++x0;
+  }
+}
+BENCHMARK(BM_LagrangeBasisCached)->Range(256, 65536);
 
 }  // namespace
 }  // namespace camelot

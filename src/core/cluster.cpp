@@ -1,8 +1,10 @@
 #include "core/cluster.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
+#include <span>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -88,11 +90,17 @@ RunReport Cluster::run(const CamelotProblem& problem,
         if (j >= k) break;
         const auto t0 = std::chrono::steady_clock::now();
         auto evaluator = problem.make_evaluator(field);
-        std::size_t count = 0;
-        for (std::size_t i = 0; i < e; ++i) {
-          if (owners[i] != j) continue;
-          codeword[i] = evaluator->eval(code.points()[i]);
-          ++count;
+        // Node j owns the contiguous chunk [lo, hi) of the codeword
+        // (the closed form of symbol_owner: owner(i) = floor(i*K/e));
+        // issue a single batched call for the whole chunk so the
+        // evaluator can amortize its point-independent work.
+        const std::size_t lo = (j * e + k - 1) / k;
+        const std::size_t hi = std::min(e, ((j + 1) * e + k - 1) / k);
+        const std::size_t count = hi - lo;
+        if (count > 0) {
+          const std::span<const u64> chunk(code.points().data() + lo, count);
+          const std::vector<u64> values = evaluator->evaluate_points(chunk);
+          std::copy(values.begin(), values.end(), codeword.begin() + lo);
         }
         const double secs = seconds_since(t0);
         std::lock_guard<std::mutex> lock(stats_mutex);

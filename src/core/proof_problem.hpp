@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,18 @@ class Evaluator {
   // Evaluates the proof polynomial at x0 (the node's one unit of work;
   // also exactly the verifier's algorithm, eq. (2) left-hand side).
   virtual u64 eval(u64 x0) = 0;
+
+  // Evaluates the proof polynomial at every point of xs — the whole
+  // contiguous chunk a simulated node owns, issued as one call. The
+  // default simply loops the scalar method; problem implementations
+  // override it to amortize point-independent work (Lagrange factorial
+  // caches, Montgomery boundary conversions, shared basis vectors)
+  // across the batch.
+  virtual std::vector<u64> evaluate_points(std::span<const u64> xs) {
+    std::vector<u64> out(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = eval(xs[i]);
+    return out;
+  }
 
   const PrimeField& field() const noexcept { return field_; }
 

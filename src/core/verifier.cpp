@@ -8,11 +8,14 @@ VerifyResult verify_proof_with(Evaluator& evaluator, const Poly& proof,
   out.trials = trials;
   const PrimeField& f = evaluator.field();
   std::mt19937_64 rng(seed);
+  std::vector<u64> points(trials);
+  for (u64& x0 : points) x0 = rng() % f.modulus();
+  // One batched call for all trial points: the evaluator amortizes its
+  // point-independent setup, and trials is small enough that computing
+  // past the first mismatch costs nothing in practice.
+  const std::vector<u64> lhs = evaluator.evaluate_points(points);
   for (std::size_t t = 0; t < trials; ++t) {
-    const u64 x0 = rng() % f.modulus();
-    const u64 lhs = evaluator.eval(x0);
-    const u64 rhs = poly_eval(proof, x0, f);
-    if (lhs != rhs) {
+    if (lhs[t] != poly_eval(proof, points[t], f)) {
       out.accepted = false;
       out.failed_trial = t;
       return out;

@@ -13,18 +13,27 @@ class Form62Evaluator : public Evaluator {
  public:
   Form62Evaluator(const PrimeField& f, const Form62Input& input,
                   const TrilinearDecomposition& dec, unsigned t, u64 rank)
-      : Evaluator(f), input_(input), dec_(dec), t_(t), rank_(rank) {
-    // Per-node precomputation: the coefficient tables reduced mod q.
-    alpha_table_ = dec_.alpha_mod(field_);
-    beta_table_ = dec_.beta_mod(field_);
-    gamma_table_ = dec_.gamma_mod(field_);
+      : Evaluator(f),
+        input_(input),
+        dec_(dec),
+        t_(t),
+        rank_(rank),
+        // Per-node precomputation, shared by every evaluation point:
+        // the Lagrange factorial cache for the nodes 1..R ...
+        lagrange_(1, static_cast<std::size_t>(rank), f) {
+    // ... and the coefficient tables, in the Montgomery domain so the
+    // Yates passes below run division-free.
+    const MontgomeryField& m = lagrange_.mont();
+    alpha_table_ = m.to_mont_vec(dec_.alpha_mod(field_));
+    beta_table_ = m.to_mont_vec(dec_.beta_mod(field_));
+    gamma_table_ = m.to_mont_vec(dec_.gamma_mod(field_));
   }
 
   u64 eval(u64 x0) override {
     const std::size_t n = input_.size();
-    // Step 1: Lambda_r(x0) for r = 1..R by the factorial trick, O(R).
-    std::vector<u64> lambda = lagrange_basis_consecutive(
-        1, static_cast<std::size_t>(rank_), x0, field_);
+    // Step 1: Lambda_r(x0) for r = 1..R by the factorial trick, O(R)
+    // multiplications and no inversion (cache is point-independent).
+    std::vector<u64> lambda = lagrange_.basis_mont(x0);
     // Step 2: interpolated coefficient matrices via Yates on the
     // Kronecker-structured tables (eq. (17)/(18)).
     Matrix alpha_mat = coefficient_matrix(alpha_table_, lambda, n);
@@ -34,14 +43,21 @@ class Form62Evaluator : public Evaluator {
     return form62_circuit_term(input_, alpha_mat, beta_mat, gamma_mat,
                                field_);
   }
+  // evaluate_points: the inherited per-point loop already amortizes
+  // the factorial cache and the Montgomery-domain tables built at
+  // construction.
 
  private:
-  Matrix coefficient_matrix(const std::vector<u64>& table,
-                            const std::vector<u64>& lambda,
+  Matrix coefficient_matrix(const std::vector<u64>& table_mont,
+                            const std::vector<u64>& lambda_mont,
                             std::size_t n) const {
+    const MontgomeryField& m = lagrange_.mont();
     const std::size_t nn = dec_.n0 * dec_.n0;
     std::vector<u64> vec =
-        yates_apply(field_, table, nn, dec_.rank, lambda, t_);
+        yates_apply(m, table_mont, nn, dec_.rank, lambda_mont, t_);
+    // The circuit's matrix products run on canonical representatives;
+    // convert the n^2 interpolated coefficients once.
+    m.from_mont_inplace(vec);
     Matrix out(n, n);
     for (u64 d = 0; d < n; ++d) {
       for (u64 e = 0; e < n; ++e) {
@@ -55,6 +71,7 @@ class Form62Evaluator : public Evaluator {
   const TrilinearDecomposition& dec_;
   unsigned t_;
   u64 rank_;
+  ConsecutiveLagrange lagrange_;
   std::vector<u64> alpha_table_, beta_table_, gamma_table_;
 };
 

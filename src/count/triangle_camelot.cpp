@@ -38,16 +38,26 @@ class TriangleEvaluator : public Evaluator {
   }
 
   u64 eval(u64 z0) override {
-    // P(z0) = sum_{r'} A_{r'}(z0) B_{r'}(z0) C_{r'}(z0).
-    const std::vector<u64> pa = ext_a_->evaluate(z0);
-    const std::vector<u64> pb = ext_b_->evaluate(z0);
-    const std::vector<u64> pc = ext_c_->evaluate(z0);
+    // P(z0) = sum_{r'} A_{r'}(z0) B_{r'}(z0) C_{r'}(z0). The three
+    // extensions share the outer Lagrange basis (same decomposition
+    // parameters), so Phi(z0) is computed once; products and the
+    // accumulator stay in the Montgomery domain, converted exactly
+    // once on return.
+    const MontgomeryField& m = ext_a_->mont();
+    const std::vector<u64> phi = ext_a_->lagrange().basis_mont(z0);
+    const std::vector<u64> pa = ext_a_->evaluate_mont_with_phi(phi);
+    const std::vector<u64> pb = ext_b_->evaluate_mont_with_phi(phi);
+    const std::vector<u64> pc = ext_c_->evaluate_mont_with_phi(phi);
     u64 acc = 0;
     for (std::size_t i = 0; i < pa.size(); ++i) {
-      acc = field_.add(acc, field_.mul(pa[i], field_.mul(pb[i], pc[i])));
+      acc = m.add(acc, m.mul(pa[i], m.mul(pb[i], pc[i])));
     }
-    return acc;
+    return m.from_mont(acc);
   }
+  // evaluate_points: the inherited per-point loop already amortizes
+  // everything point-independent (Lagrange factorial cache, Montgomery
+  // tables), because that state lives in the extensions built at
+  // construction.
 
  private:
   std::unique_ptr<YatesPolynomialExtension> ext_a_, ext_b_, ext_c_;

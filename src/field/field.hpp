@@ -44,10 +44,17 @@ class PrimeField {
   u64 generator() const noexcept { return generator_; }
 
   u64 zero() const noexcept { return 0; }
-  u64 one() const noexcept { return q_ == 1 ? 0 : 1; }
+  // The constructor requires q prime, so q >= 2 and 1 is always a
+  // canonical representative.
+  u64 one() const noexcept { return 1; }
 
   // Canonical representative of an arbitrary 64-bit value.
   u64 reduce(u64 v) const noexcept { return v % q_; }
+
+  // Embeds a plain integer into the field. Identical to reduce() here;
+  // the Montgomery backend maps into its domain. Templated kernels use
+  // this name so they work against either backend.
+  u64 from_u64(u64 v) const noexcept { return v % q_; }
 
   // Canonical representative of a signed value (handles negatives).
   u64 from_signed(i64 v) const noexcept {

@@ -4,55 +4,94 @@
 
 namespace camelot {
 
-std::vector<u64> lagrange_basis_consecutive(u64 start, std::size_t count,
-                                            u64 x0, const PrimeField& f) {
+ConsecutiveLagrange::ConsecutiveLagrange(u64 start, std::size_t count,
+                                         const PrimeField& f)
+    : m_(f), start_(f.reduce(start)), count_(count) {
   if (count == 0) throw std::invalid_argument("lagrange_basis: empty");
   if (count >= f.modulus()) {
     throw std::invalid_argument("lagrange_basis: more nodes than field");
   }
-  std::vector<u64> out(count, 0);
-  x0 = f.reduce(x0);
-  // Node values mod q; detect x0 hitting a node.
-  std::vector<u64> diff(count);
+  // Factorials F_0..F_{count-1} in the Montgomery domain.
+  std::vector<u64> fact(count);
+  fact[0] = m_.one();
+  u64 i_m = m_.zero();
+  for (std::size_t i = 1; i < count; ++i) {
+    i_m = m_.add(i_m, m_.one());  // Montgomery form of i
+    fact[i] = m_.mul(fact[i - 1], i_m);
+  }
+  // Point-independent denominator parts, inverted once.
+  std::vector<u64> w(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const u64 node = f.reduce(f.add(f.reduce(start), f.reduce(i)));
-    diff[i] = f.sub(x0, node);
+    u64 d = m_.mul(fact[i], fact[count - 1 - i]);
+    if ((count - 1 - i) % 2 == 1) d = m_.neg(d);
+    w[i] = d;
+  }
+  inv_w_ = m_.batch_inv(w);
+}
+
+std::vector<u64> ConsecutiveLagrange::basis_mont(u64 x0) const {
+  // By-value copy keeps the Montgomery constants in registers across
+  // the out/diff stores (the member reference could alias them).
+  const MontgomeryField m = m_;
+  std::vector<u64> out(count_, 0);
+  const u64 x0_m = m.from_u64(x0);
+  // diff[i] = x0 - node_i in the Montgomery domain; detect x0 hitting
+  // a node (zero is zero in either domain).
+  std::vector<u64> diff(count_);
+  u64 node = m.to_mont(start_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    diff[i] = m.sub(x0_m, node);
     if (diff[i] == 0) {
-      out[i] = f.one();
+      out[i] = m.one();
       return out;  // basis collapses to an indicator
     }
+    node = m.add(node, m.one());  // next integer node
   }
-  // Gamma = prod_i (x0 - node_i).
-  u64 gamma = f.one();
-  for (u64 d : diff) gamma = f.mul(gamma, d);
-  // Factorials F_0..F_{count-1}.
-  std::vector<u64> fact(count);
-  fact[0] = f.one();
-  for (std::size_t i = 1; i < count; ++i) {
-    fact[i] = f.mul(fact[i - 1], f.reduce(i));
+  // L_i = (prod_{j != i} diff_j) * inv_w_i, via prefix/suffix
+  // products — no inversion at the evaluation point.
+  std::vector<u64> suffix(count_);
+  u64 acc = m.one();
+  for (std::size_t i = count_; i-- > 0;) {
+    suffix[i] = acc;
+    acc = m.mul(acc, diff[i]);
   }
-  // Denominators: (-1)^{count-1-i} * i! * (count-1-i)! * (x0 - node_i).
-  std::vector<u64> denom(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    u64 d = f.mul(fact[i], fact[count - 1 - i]);
-    d = f.mul(d, diff[i]);
-    if ((count - 1 - i) % 2 == 1) d = f.neg(d);
-    denom[i] = d;
+  u64 prefix = m.one();
+  for (std::size_t i = 0; i < count_; ++i) {
+    out[i] = m.mul(m.mul(prefix, suffix[i]), inv_w_[i]);
+    prefix = m.mul(prefix, diff[i]);
   }
-  std::vector<u64> inv = f.batch_inv(denom);
-  for (std::size_t i = 0; i < count; ++i) out[i] = f.mul(gamma, inv[i]);
   return out;
+}
+
+std::vector<u64> ConsecutiveLagrange::basis(u64 x0) const {
+  std::vector<u64> out = basis_mont(x0);
+  m_.from_mont_inplace(out);
+  return out;
+}
+
+u64 ConsecutiveLagrange::eval(std::span<const u64> values, u64 x0) const {
+  if (values.size() != count_) {
+    throw std::invalid_argument("ConsecutiveLagrange::eval: size mismatch");
+  }
+  const std::vector<u64> basis = basis_mont(x0);
+  // mont_mul(bR, v) = b*v with no conversion: the Montgomery factor of
+  // the basis cancels against the reduction, so plain values in, plain
+  // accumulator out.
+  u64 acc = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    acc = m_.add(acc, m_.mul(basis[i], m_.reduce(values[i])));
+  }
+  return acc;
+}
+
+std::vector<u64> lagrange_basis_consecutive(u64 start, std::size_t count,
+                                            u64 x0, const PrimeField& f) {
+  return ConsecutiveLagrange(start, count, f).basis(x0);
 }
 
 u64 lagrange_eval_consecutive(u64 start, std::span<const u64> values, u64 x0,
                               const PrimeField& f) {
-  std::vector<u64> basis =
-      lagrange_basis_consecutive(start, values.size(), x0, f);
-  u64 acc = 0;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    acc = f.add(acc, f.mul(basis[i], f.reduce(values[i])));
-  }
-  return acc;
+  return ConsecutiveLagrange(start, values.size(), f).eval(values, x0);
 }
 
 }  // namespace camelot

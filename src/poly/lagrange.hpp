@@ -7,25 +7,56 @@
 // computes all R Lagrange basis values at a point in O(R) operations,
 // which is what lets a Camelot node expand interpolated tensor
 // coefficients (eq. (14)) or outer-loop selectors (eq. (6)) cheaply.
+//
+// ConsecutiveLagrange precomputes everything that does not depend on
+// the evaluation point (the factorial products and their inverses, in
+// the Montgomery domain) once; each subsequent basis query is then a
+// single O(R) prefix/suffix product sweep with *no* field inversion.
+// Batched proof evaluation (core/cluster, count/*) amortizes the
+// precomputation across a node's whole chunk of points.
 #pragma once
 
 #include <span>
 #include <vector>
 
-#include "field/field.hpp"
+#include "field/montgomery.hpp"
 
 namespace camelot {
 
-// Basis values L_i(x0), i = 0..count-1, for the nodes
-// start, start+1, ..., start+count-1 (as field elements).
-// L_i is 1 at node start+i and 0 at the other nodes.
-// Works for any x0 (including x0 equal to one of the nodes) provided
-// count <= q, so the nodes are distinct mod q.
+class ConsecutiveLagrange {
+ public:
+  // Prepares the basis for the nodes start, start+1, ..,
+  // start+count-1 (as field elements). Requires 0 < count < q so the
+  // nodes are distinct mod q.
+  ConsecutiveLagrange(u64 start, std::size_t count, const PrimeField& f);
+
+  std::size_t count() const noexcept { return count_; }
+  const MontgomeryField& mont() const noexcept { return m_; }
+
+  // Basis values L_i(x0) in the Montgomery domain, i = 0..count-1.
+  // L_i is 1 at node start+i and 0 at the other nodes. Works for any
+  // x0 (including x0 equal to one of the nodes).
+  std::vector<u64> basis_mont(u64 x0) const;
+
+  // Same values as canonical representatives.
+  std::vector<u64> basis(u64 x0) const;
+
+  // Value at x0 of the unique degree-<count interpolant through
+  // (start+i, values[i]), canonical in/out. O(count).
+  u64 eval(std::span<const u64> values, u64 x0) const;
+
+ private:
+  MontgomeryField m_;
+  u64 start_;        // canonical representative of the first node
+  std::size_t count_;
+  // Montgomery-domain inverses of the point-independent denominator
+  // parts (-1)^{count-1-i} * i! * (count-1-i)!.
+  std::vector<u64> inv_w_;
+};
+
+// One-shot wrappers (build the cache, query once).
 std::vector<u64> lagrange_basis_consecutive(u64 start, std::size_t count,
                                             u64 x0, const PrimeField& f);
-
-// Value at x0 of the unique degree-<count interpolant through
-// (start+i, values[i]). O(count) after the basis computation.
 u64 lagrange_eval_consecutive(u64 start, std::span<const u64> values, u64 x0,
                               const PrimeField& f);
 

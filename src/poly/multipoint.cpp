@@ -6,14 +6,16 @@ namespace camelot {
 
 SubproductTree::SubproductTree(std::span<const u64> points,
                                const PrimeField& f)
-    : points_(points.begin(), points.end()) {
+    : points_(points.begin(), points.end()), mont_(f) {
   if (points_.empty()) {
     throw std::invalid_argument("SubproductTree: no points");
   }
   for (u64& x : points_) x = f.reduce(x);
   std::vector<Poly> level;
   level.reserve(points_.size());
-  for (u64 x : points_) level.push_back(Poly::linear_root(x, f));
+  for (u64 x : points_) {
+    level.push_back(Poly::linear_root(mont_.to_mont(x), mont_));
+  }
   levels_.push_back(std::move(level));
   while (levels_.back().size() > 1) {
     const auto& prev = levels_.back();
@@ -21,24 +23,50 @@ SubproductTree::SubproductTree(std::span<const u64> points,
     next.reserve((prev.size() + 1) / 2);
     for (std::size_t i = 0; i < prev.size(); i += 2) {
       if (i + 1 < prev.size()) {
-        next.push_back(poly_mul(prev[i], prev[i + 1], f));
+        next.push_back(poly_mul(prev[i], prev[i + 1], mont_));
       } else {
         next.push_back(prev[i]);  // odd node carried up unchanged
       }
     }
     levels_.push_back(std::move(next));
   }
+  root_plain_ = Poly{mont_.from_mont_vec(levels_.back()[0].c)};
 }
 
-const Poly& SubproductTree::root() const { return levels_.back()[0]; }
+const Poly& SubproductTree::root_mont() const { return levels_.back()[0]; }
 
-void SubproductTree::eval_rec(const Poly& p, std::size_t level,
+namespace {
+
+// In-place remainder modulo a *monic* divisor (every tree node is a
+// product of monic linears). Skips the quotient, the leading-
+// coefficient inversion and all Poly wrapper churn of the generic
+// poly_divrem — this is the hot inner loop of tree descent.
+void monic_rem_inplace(std::vector<u64>& r, const std::vector<u64>& b,
+                       const MontgomeryField& mref) {
+  // By-value copy: the stores through r could alias an object behind a
+  // reference, which would force the compiler to reload the Montgomery
+  // constants every iteration; a local's fields live in registers.
+  const MontgomeryField m = mref;
+  const std::size_t db = b.size() - 1;  // deg b; b.back() == one()
+  while (r.size() > db) {
+    const u64 top = r.back();
+    r.pop_back();
+    if (top == 0) continue;
+    u64* rc = r.data() + (r.size() - db);
+    for (std::size_t j = 0; j < db; ++j) {
+      rc[j] = m.sub(rc[j], m.mul(top, b[j]));
+    }
+  }
+}
+
+}  // namespace
+
+void SubproductTree::eval_rec(std::vector<u64>& r, std::size_t level,
                               std::size_t idx, std::size_t lo, std::size_t hi,
-                              const PrimeField& f,
                               std::vector<u64>& out) const {
   if (level == 0) {
-    // p is already reduced mod (x - x_lo), i.e. it is the value.
-    out[lo] = p.coeff(0);
+    // r is already reduced mod (x - x_lo), i.e. it is the value.
+    out[lo] = r.empty() ? 0 : r[0];
     return;
   }
   const std::size_t span = std::size_t{1} << (level - 1);
@@ -48,34 +76,37 @@ void SubproductTree::eval_rec(const Poly& p, std::size_t level,
   const std::size_t right = 2 * idx + 1;
   if (right >= child_level.size()) {
     // Single-child node: polynomial is identical, just descend.
-    eval_rec(p, level - 1, left, lo, hi, f, out);
+    eval_rec(r, level - 1, left, lo, hi, out);
     return;
   }
-  Poly pl = p.degree() >= child_level[left].degree()
-                ? poly_rem(p, child_level[left], f)
-                : p;
-  Poly pr = p.degree() >= child_level[right].degree()
-                ? poly_rem(p, child_level[right], f)
-                : p;
-  eval_rec(pl, level - 1, left, lo, mid, f, out);
-  eval_rec(pr, level - 1, right, mid, hi, f, out);
+  std::vector<u64> rl = r;
+  monic_rem_inplace(rl, child_level[left].c, mont_);
+  eval_rec(rl, level - 1, left, lo, mid, out);
+  monic_rem_inplace(r, child_level[right].c, mont_);
+  eval_rec(r, level - 1, right, mid, hi, out);
+}
+
+std::vector<u64> SubproductTree::evaluate_mont(const Poly& p_mont) const {
+  std::vector<u64> out(points_.size(), 0);
+  std::vector<u64> r = p_mont.c;
+  monic_rem_inplace(r, root_mont().c, mont_);
+  eval_rec(r, levels_.size() - 1, 0, 0, points_.size(), out);
+  return out;
 }
 
 std::vector<u64> SubproductTree::evaluate(const Poly& p,
                                           const PrimeField& f) const {
-  std::vector<u64> out(points_.size(), 0);
-  Poly reduced = p;
-  if (reduced.degree() >= root().degree()) {
-    reduced = poly_rem(reduced, root(), f);
+  if (f.modulus() != mont_.modulus()) {
+    throw std::invalid_argument("SubproductTree::evaluate: field mismatch");
   }
-  eval_rec(reduced, levels_.size() - 1, 0, 0, points_.size(), f, out);
+  std::vector<u64> out = evaluate_mont(Poly{mont_.to_mont_vec(p.c)});
+  mont_.from_mont_inplace(out);
   return out;
 }
 
 Poly SubproductTree::interp_rec(std::span<const u64> weighted,
                                 std::size_t level, std::size_t idx,
-                                std::size_t lo, std::size_t hi,
-                                const PrimeField& f) const {
+                                std::size_t lo, std::size_t hi) const {
   if (level == 0) {
     Poly p;
     if (weighted[lo] != 0) p.c.push_back(weighted[lo]);
@@ -87,28 +118,40 @@ Poly SubproductTree::interp_rec(std::span<const u64> weighted,
   const std::size_t left = 2 * idx;
   const std::size_t right = 2 * idx + 1;
   if (right >= child_level.size()) {
-    return interp_rec(weighted, level - 1, left, lo, hi, f);
+    return interp_rec(weighted, level - 1, left, lo, hi);
   }
-  Poly pl = interp_rec(weighted, level - 1, left, lo, mid, f);
-  Poly pr = interp_rec(weighted, level - 1, right, mid, hi, f);
-  return poly_add(poly_mul(pl, child_level[right], f),
-                  poly_mul(pr, child_level[left], f), f);
+  Poly pl = interp_rec(weighted, level - 1, left, lo, mid);
+  Poly pr = interp_rec(weighted, level - 1, right, mid, hi);
+  return poly_add(poly_mul(pl, child_level[right], mont_),
+                  poly_mul(pr, child_level[left], mont_), mont_);
+}
+
+Poly SubproductTree::interpolate_mont(
+    std::span<const u64> values_mont) const {
+  if (values_mont.size() != points_.size()) {
+    throw std::invalid_argument("SubproductTree::interpolate: size mismatch");
+  }
+  // Lagrange weights s_i = y_i / m'(x_i) where m = prod (x - x_j).
+  const Poly dm = poly_derivative(root_mont(), mont_);
+  std::vector<u64> denom = evaluate_mont(dm);
+  std::vector<u64> inv_denom = mont_.batch_inv(denom);
+  std::vector<u64> weighted(values_mont.size());
+  for (std::size_t i = 0; i < values_mont.size(); ++i) {
+    weighted[i] = mont_.mul(values_mont[i], inv_denom[i]);
+  }
+  Poly p = interp_rec(weighted, levels_.size() - 1, 0, 0, points_.size());
+  p.trim();
+  return p;
 }
 
 Poly SubproductTree::interpolate(std::span<const u64> values,
                                  const PrimeField& f) const {
-  if (values.size() != points_.size()) {
-    throw std::invalid_argument("SubproductTree::interpolate: size mismatch");
+  if (f.modulus() != mont_.modulus()) {
+    throw std::invalid_argument(
+        "SubproductTree::interpolate: field mismatch");
   }
-  // Lagrange weights s_i = y_i / m'(x_i) where m = prod (x - x_j).
-  const Poly dm = poly_derivative(root(), f);
-  std::vector<u64> denom = evaluate(dm, f);
-  std::vector<u64> inv_denom = f.batch_inv(denom);
-  std::vector<u64> weighted(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    weighted[i] = f.mul(f.reduce(values[i]), inv_denom[i]);
-  }
-  Poly p = interp_rec(weighted, levels_.size() - 1, 0, 0, points_.size(), f);
+  Poly p = interpolate_mont(mont_.to_mont_vec(values));
+  mont_.from_mont_inplace(p.c);
   p.trim();
   return p;
 }

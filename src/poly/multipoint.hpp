@@ -4,12 +4,19 @@
 // These drive Reed--Solomon encoding/decoding (§2.3) and the
 // Convolution3SUM evaluator (§A.4), which needs t polynomials reduced
 // against the same set of shifted points.
+//
+// The tree stores its node polynomials in the Montgomery domain and
+// runs every remainder/product on domain values. The classic
+// PrimeField-facing methods convert once per call at the boundary;
+// the *_mont methods expose the domain directly so a longer pipeline
+// (e.g. the Gao decoder) never leaves it.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "field/montgomery.hpp"
 #include "poly/poly.hpp"
 
 namespace camelot {
@@ -23,8 +30,13 @@ class SubproductTree {
 
   std::size_t num_points() const noexcept { return points_.size(); }
   const std::vector<u64>& points() const noexcept { return points_; }
-  // Root polynomial prod_i (x - x_i).
-  const Poly& root() const;
+  // The Montgomery context shared by the tree's node polynomials.
+  const MontgomeryField& mont() const noexcept { return mont_; }
+
+  // Root polynomial prod_i (x - x_i), canonical coefficients.
+  const Poly& root() const noexcept { return root_plain_; }
+  // Same polynomial with Montgomery-domain coefficients.
+  const Poly& root_mont() const;
 
   // Evaluates p at every point (going-down-the-tree remaindering).
   std::vector<u64> evaluate(const Poly& p, const PrimeField& f) const;
@@ -32,17 +44,25 @@ class SubproductTree {
   // Unique polynomial of degree < n with P(x_i) = values[i].
   Poly interpolate(std::span<const u64> values, const PrimeField& f) const;
 
- private:
-  // levels_[0] = leaves (x - x_i); levels_.back() = {root}.
-  std::vector<std::vector<Poly>> levels_;
-  std::vector<u64> points_;
+  // Montgomery-domain variants: coefficients and values are domain
+  // values; no boundary conversion is performed.
+  std::vector<u64> evaluate_mont(const Poly& p_mont) const;
+  Poly interpolate_mont(std::span<const u64> values_mont) const;
 
-  void eval_rec(const Poly& p, std::size_t level, std::size_t idx,
-                std::size_t lo, std::size_t hi, const PrimeField& f,
-                std::vector<u64>& out) const;
+ private:
+  // levels_[0] = leaves (x - x_i); levels_.back() = {root}; all
+  // coefficients Montgomery-domain.
+  std::vector<std::vector<Poly>> levels_;
+  std::vector<u64> points_;       // canonical representatives
+  MontgomeryField mont_;
+  Poly root_plain_;
+
+  // Tree descent on a raw (Montgomery-domain) remainder vector; the
+  // caller's copy of r is consumed in place along the right spine.
+  void eval_rec(std::vector<u64>& r, std::size_t level, std::size_t idx,
+                std::size_t lo, std::size_t hi, std::vector<u64>& out) const;
   Poly interp_rec(std::span<const u64> weighted, std::size_t level,
-                  std::size_t idx, std::size_t lo, std::size_t hi,
-                  const PrimeField& f) const;
+                  std::size_t idx, std::size_t lo, std::size_t hi) const;
 };
 
 // Convenience one-shot wrappers.

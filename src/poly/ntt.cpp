@@ -18,20 +18,18 @@ int log2_exact(std::size_t n) {
   return k;
 }
 
-}  // namespace
-
-bool ntt_supports_size(const PrimeField& f, std::size_t result_size) {
-  const std::size_t n = next_pow2(result_size);
-  return log2_exact(n) <= f.two_adicity() && n < f.modulus();
-}
-
-void ntt_inplace(std::vector<u64>& a, bool inverse, const PrimeField& f) {
+// Radix-2 butterfly kernel on Montgomery-domain values.
+void ntt_kernel(std::vector<u64>& a, bool inverse,
+                const MontgomeryField& mref) {
+  // By-value copy keeps the Montgomery constants in registers across
+  // the butterfly stores (a reference could alias the written data).
+  const MontgomeryField m = mref;
   const std::size_t n = a.size();
   if (n == 0 || (n & (n - 1)) != 0) {
     throw std::invalid_argument("ntt_inplace: size must be a power of two");
   }
   const int lg = log2_exact(n);
-  if (lg > f.two_adicity()) {
+  if (lg > m.two_adicity()) {
     throw std::invalid_argument("ntt_inplace: field two-adicity too small");
   }
   // Bit-reversal permutation.
@@ -42,39 +40,86 @@ void ntt_inplace(std::vector<u64>& a, bool inverse, const PrimeField& f) {
     if (i < j) std::swap(a[i], a[j]);
   }
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    u64 wlen = f.root_of_unity(log2_exact(len));
-    if (inverse) wlen = f.inv(wlen);
+    u64 wlen = m.root_of_unity(log2_exact(len));
+    if (inverse) wlen = m.inv(wlen);
     for (std::size_t i = 0; i < n; i += len) {
-      u64 w = 1;
+      u64 w = m.one();
       for (std::size_t j = 0; j < len / 2; ++j) {
         const u64 u = a[i + j];
-        const u64 v = f.mul(a[i + j + len / 2], w);
-        a[i + j] = f.add(u, v);
-        a[i + j + len / 2] = f.sub(u, v);
-        w = f.mul(w, wlen);
+        const u64 v = m.mul(a[i + j + len / 2], w);
+        a[i + j] = m.add(u, v);
+        a[i + j + len / 2] = m.sub(u, v);
+        w = m.mul(w, wlen);
       }
     }
   }
   if (inverse) {
-    const u64 n_inv = f.inv(f.reduce(n));
-    for (u64& v : a) v = f.mul(v, n_inv);
+    const u64 n_inv = m.inv(m.from_u64(n));
+    for (u64& v : a) v = m.mul(v, n_inv);
   }
 }
 
-std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
-                              const PrimeField& f) {
-  if (a.empty() || b.empty()) return {};
+std::vector<u64> convolve_kernel(std::span<const u64> a,
+                                 std::span<const u64> b,
+                                 const MontgomeryField& m) {
   const std::size_t out = a.size() + b.size() - 1;
   const std::size_t n = next_pow2(out);
   std::vector<u64> fa(a.begin(), a.end()), fb(b.begin(), b.end());
   fa.resize(n, 0);
   fb.resize(n, 0);
-  ntt_inplace(fa, false, f);
-  ntt_inplace(fb, false, f);
-  for (std::size_t i = 0; i < n; ++i) fa[i] = f.mul(fa[i], fb[i]);
-  ntt_inplace(fa, true, f);
+  ntt_kernel(fa, false, m);
+  ntt_kernel(fb, false, m);
+  for (std::size_t i = 0; i < n; ++i) fa[i] = m.mul(fa[i], fb[i]);
+  ntt_kernel(fa, true, m);
   fa.resize(out);
   return fa;
+}
+
+}  // namespace
+
+bool ntt_supports_size(const PrimeField& f, std::size_t result_size) {
+  const std::size_t n = next_pow2(result_size);
+  return log2_exact(n) <= f.two_adicity() && n < f.modulus();
+}
+
+bool ntt_supports_size(const MontgomeryField& f, std::size_t result_size) {
+  return ntt_supports_size(f.base(), result_size);
+}
+
+void ntt_inplace(std::vector<u64>& a, bool inverse, const PrimeField& f) {
+  // Validate before converting so a failed call leaves `a` untouched.
+  const std::size_t n = a.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("ntt_inplace: size must be a power of two");
+  }
+  if (log2_exact(n) > f.two_adicity()) {
+    throw std::invalid_argument("ntt_inplace: field two-adicity too small");
+  }
+  const MontgomeryField m(f);
+  m.to_mont_inplace(a);
+  ntt_kernel(a, inverse, m);
+  m.from_mont_inplace(a);
+}
+
+void ntt_inplace(std::vector<u64>& a, bool inverse,
+                 const MontgomeryField& f) {
+  ntt_kernel(a, inverse, f);
+}
+
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const PrimeField& f) {
+  if (a.empty() || b.empty()) return {};
+  const MontgomeryField m(f);
+  std::vector<u64> fa = m.to_mont_vec(a), fb = m.to_mont_vec(b);
+  std::vector<u64> r = convolve_kernel(fa, fb, m);
+  m.from_mont_inplace(r);
+  return r;
+}
+
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryField& f) {
+  if (a.empty() || b.empty()) return {};
+  return convolve_kernel(a, b, f);
 }
 
 }  // namespace camelot

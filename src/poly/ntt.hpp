@@ -4,26 +4,42 @@
 // (see core/prime_plan.hpp) so that the O(d log d) polynomial
 // multiplication promised in paper §2.2 is available for encoding,
 // decoding and interpolation.
+//
+// The butterfly kernel runs entirely in the Montgomery domain. The
+// PrimeField overloads convert once at the boundary (two passes over
+// the data); the MontgomeryField overloads take and return domain
+// values directly so a longer pipeline pays no conversion at all.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "field/field.hpp"
+#include "field/montgomery.hpp"
 
 namespace camelot {
 
 // True iff the field supports transforms long enough to multiply
 // polynomials with `result_size` output coefficients.
 bool ntt_supports_size(const PrimeField& f, std::size_t result_size);
+bool ntt_supports_size(const MontgomeryField& f, std::size_t result_size);
 
-// In-place radix-2 NTT of a power-of-two-sized vector.
-// If inverse, applies the inverse transform including the 1/n factor.
+// In-place radix-2 NTT of a power-of-two-sized vector of canonical
+// representatives. If inverse, applies the inverse transform
+// including the 1/n factor.
 void ntt_inplace(std::vector<u64>& a, bool inverse, const PrimeField& f);
 
+// Same transform on a vector that is already in the Montgomery
+// domain; the result stays in the Montgomery domain.
+void ntt_inplace(std::vector<u64>& a, bool inverse, const MontgomeryField& f);
+
 // Cyclic-free convolution (polynomial product) of two coefficient
-// vectors. Returns a.size()+b.size()-1 coefficients.
+// vectors. Returns a.size()+b.size()-1 coefficients. The PrimeField
+// overload takes and returns canonical representatives; the
+// MontgomeryField overload works domain-to-domain.
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const PrimeField& f);
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryField& f);
 
 }  // namespace camelot

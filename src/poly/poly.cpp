@@ -1,243 +1,6 @@
 #include "poly/poly.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "poly/ntt.hpp"
-
 namespace camelot {
-
-namespace {
-
-// Below this size schoolbook beats Karatsuba; below ~512 coefficients
-// Karatsuba beats NTT setup cost.
-constexpr std::size_t kKaratsubaThreshold = 32;
-constexpr std::size_t kNttThreshold = 512;
-
-}  // namespace
-
-Poly Poly::constant(u64 v, const PrimeField& f) {
-  Poly p;
-  v = f.reduce(v);
-  if (v != 0) p.c.push_back(v);
-  return p;
-}
-
-Poly Poly::linear_root(u64 a, const PrimeField& f) {
-  Poly p;
-  p.c = {f.neg(f.reduce(a)), 1};
-  return p;
-}
-
-Poly poly_add(const Poly& a, const Poly& b, const PrimeField& f) {
-  Poly r;
-  r.c.resize(std::max(a.c.size(), b.c.size()), 0);
-  for (std::size_t i = 0; i < r.c.size(); ++i) {
-    r.c[i] = f.add(a.coeff(i), b.coeff(i));
-  }
-  r.trim();
-  return r;
-}
-
-Poly poly_sub(const Poly& a, const Poly& b, const PrimeField& f) {
-  Poly r;
-  r.c.resize(std::max(a.c.size(), b.c.size()), 0);
-  for (std::size_t i = 0; i < r.c.size(); ++i) {
-    r.c[i] = f.sub(a.coeff(i), b.coeff(i));
-  }
-  r.trim();
-  return r;
-}
-
-Poly poly_scale(const Poly& a, u64 s, const PrimeField& f) {
-  Poly r = a;
-  s = f.reduce(s);
-  for (u64& v : r.c) v = f.mul(v, s);
-  r.trim();
-  return r;
-}
-
-Poly poly_mul_schoolbook(const Poly& a, const Poly& b, const PrimeField& f) {
-  if (a.is_zero() || b.is_zero()) return Poly::zero();
-  Poly r;
-  r.c.assign(a.c.size() + b.c.size() - 1, 0);
-  for (std::size_t i = 0; i < a.c.size(); ++i) {
-    if (a.c[i] == 0) continue;
-    for (std::size_t j = 0; j < b.c.size(); ++j) {
-      r.c[i + j] = f.add(r.c[i + j], f.mul(a.c[i], b.c[j]));
-    }
-  }
-  r.trim();
-  return r;
-}
-
-namespace {
-
-// Karatsuba on raw coefficient spans; result has size n+m-1 entries.
-std::vector<u64> kara(std::span<const u64> a, std::span<const u64> b,
-                      const PrimeField& f) {
-  if (a.empty() || b.empty()) return {};
-  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
-    std::vector<u64> r(a.size() + b.size() - 1, 0);
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      if (a[i] == 0) continue;
-      for (std::size_t j = 0; j < b.size(); ++j) {
-        r[i + j] = f.add(r[i + j], f.mul(a[i], b[j]));
-      }
-    }
-    return r;
-  }
-  const std::size_t h = std::max(a.size(), b.size()) / 2;
-  auto lo = [&](std::span<const u64> v) {
-    return v.subspan(0, std::min(h, v.size()));
-  };
-  auto hi = [&](std::span<const u64> v) {
-    return v.size() > h ? v.subspan(h) : std::span<const u64>{};
-  };
-  std::vector<u64> z0 = kara(lo(a), lo(b), f);
-  std::vector<u64> z2 = kara(hi(a), hi(b), f);
-  // (a_lo + a_hi)(b_lo + b_hi)
-  std::vector<u64> as(std::max(lo(a).size(), hi(a).size()), 0);
-  std::vector<u64> bs(std::max(lo(b).size(), hi(b).size()), 0);
-  for (std::size_t i = 0; i < lo(a).size(); ++i) as[i] = lo(a)[i];
-  for (std::size_t i = 0; i < hi(a).size(); ++i) as[i] = f.add(as[i], hi(a)[i]);
-  for (std::size_t i = 0; i < lo(b).size(); ++i) bs[i] = lo(b)[i];
-  for (std::size_t i = 0; i < hi(b).size(); ++i) bs[i] = f.add(bs[i], hi(b)[i]);
-  std::vector<u64> z1 = kara(as, bs, f);
-
-  std::vector<u64> r(a.size() + b.size() - 1, 0);
-  for (std::size_t i = 0; i < z0.size(); ++i) r[i] = f.add(r[i], z0[i]);
-  for (std::size_t i = 0; i < z2.size(); ++i) {
-    r[i + 2 * h] = f.add(r[i + 2 * h], z2[i]);
-  }
-  for (std::size_t i = 0; i < z1.size(); ++i) {
-    u64 mid = z1[i];
-    if (i < z0.size()) mid = f.sub(mid, z0[i]);
-    if (i < z2.size()) mid = f.sub(mid, z2[i]);
-    r[i + h] = f.add(r[i + h], mid);
-  }
-  return r;
-}
-
-}  // namespace
-
-Poly poly_mul_karatsuba(const Poly& a, const Poly& b, const PrimeField& f) {
-  Poly r{kara(a.c, b.c, f)};
-  r.trim();
-  return r;
-}
-
-Poly poly_mul(const Poly& a, const Poly& b, const PrimeField& f) {
-  if (a.is_zero() || b.is_zero()) return Poly::zero();
-  const std::size_t out = a.c.size() + b.c.size() - 1;
-  if (out >= kNttThreshold && ntt_supports_size(f, out)) {
-    Poly r{ntt_convolve(a.c, b.c, f)};
-    r.trim();
-    return r;
-  }
-  if (std::min(a.c.size(), b.c.size()) >= kKaratsubaThreshold) {
-    return poly_mul_karatsuba(a, b, f);
-  }
-  return poly_mul_schoolbook(a, b, f);
-}
-
-void poly_divrem(const Poly& a, const Poly& b, const PrimeField& f, Poly* q,
-                 Poly* r) {
-  if (b.is_zero()) throw std::invalid_argument("poly_divrem: divide by zero");
-  Poly rem = a;
-  rem.trim();
-  Poly quot;
-  const int db = b.degree();
-  if (rem.degree() >= db) {
-    quot.c.assign(static_cast<std::size_t>(rem.degree() - db) + 1, 0);
-    const u64 lead_inv = f.inv(b.c.back());
-    for (int i = rem.degree(); i >= db; --i) {
-      const u64 top = rem.coeff(static_cast<std::size_t>(i));
-      if (top == 0) continue;
-      const u64 factor = f.mul(top, lead_inv);
-      quot.c[static_cast<std::size_t>(i - db)] = factor;
-      for (int j = 0; j <= db; ++j) {
-        auto idx = static_cast<std::size_t>(i - db + j);
-        rem.c[idx] = f.sub(rem.c[idx],
-                           f.mul(factor, b.c[static_cast<std::size_t>(j)]));
-      }
-    }
-  }
-  rem.trim();
-  quot.trim();
-  if (q != nullptr) *q = std::move(quot);
-  if (r != nullptr) *r = std::move(rem);
-}
-
-Poly poly_rem(const Poly& a, const Poly& b, const PrimeField& f) {
-  Poly r;
-  poly_divrem(a, b, f, nullptr, &r);
-  return r;
-}
-
-Poly poly_gcd(Poly a, Poly b, const PrimeField& f) {
-  a.trim();
-  b.trim();
-  while (!b.is_zero()) {
-    Poly r = poly_rem(a, b, f);
-    a = std::move(b);
-    b = std::move(r);
-  }
-  if (!a.is_zero()) a = poly_scale(a, f.inv(a.c.back()), f);  // monic
-  return a;
-}
-
-void poly_xgcd_partial(const Poly& a, const Poly& b, int stop_degree,
-                       const PrimeField& f, Poly* g, Poly* u, Poly* v) {
-  // Invariants: u_i*a + v_i*b = r_i for the remainder sequence r_i.
-  Poly r0 = a, r1 = b;
-  r0.trim();
-  r1.trim();
-  Poly u0 = Poly::constant(1, f), u1 = Poly::zero();
-  Poly v0 = Poly::zero(), v1 = Poly::constant(1, f);
-  while (!r1.is_zero() && r0.degree() >= stop_degree) {
-    Poly qt, rem;
-    poly_divrem(r0, r1, f, &qt, &rem);
-    Poly u2 = poly_sub(u0, poly_mul(qt, u1, f), f);
-    Poly v2 = poly_sub(v0, poly_mul(qt, v1, f), f);
-    r0 = std::move(r1);
-    r1 = std::move(rem);
-    u0 = std::move(u1);
-    u1 = std::move(u2);
-    v0 = std::move(v1);
-    v1 = std::move(v2);
-  }
-  if (g != nullptr) *g = r0;
-  if (u != nullptr) *u = u0;
-  if (v != nullptr) *v = v0;
-}
-
-u64 poly_eval(const Poly& p, u64 x0, const PrimeField& f) {
-  u64 acc = 0;
-  x0 = f.reduce(x0);
-  for (std::size_t i = p.c.size(); i-- > 0;) {
-    acc = f.add(f.mul(acc, x0), p.c[i]);
-  }
-  return acc;
-}
-
-std::vector<u64> poly_eval_many(const Poly& p, std::span<const u64> xs,
-                                const PrimeField& f) {
-  std::vector<u64> out(xs.size());
-  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = poly_eval(p, xs[i], f);
-  return out;
-}
-
-Poly poly_derivative(const Poly& p, const PrimeField& f) {
-  Poly r;
-  if (p.c.size() <= 1) return r;
-  r.c.resize(p.c.size() - 1);
-  for (std::size_t i = 1; i < p.c.size(); ++i) {
-    r.c[i - 1] = f.mul(p.c[i], f.reduce(i));
-  }
-  r.trim();
-  return r;
-}
 
 bool poly_equal(const Poly& a, const Poly& b) {
   Poly x = a, y = b;
@@ -245,5 +8,32 @@ bool poly_equal(const Poly& a, const Poly& b) {
   y.trim();
   return x.c == y.c;
 }
+
+// Explicit instantiations: every consumer links against these instead
+// of re-expanding the templates per translation unit.
+#define CAMELOT_POLY_INSTANTIATE(Field)                                    \
+  template Poly poly_add<Field>(const Poly&, const Poly&, const Field&);   \
+  template Poly poly_sub<Field>(const Poly&, const Poly&, const Field&);   \
+  template Poly poly_scale<Field>(const Poly&, u64, const Field&);         \
+  template Poly poly_mul_schoolbook<Field>(const Poly&, const Poly&,       \
+                                           const Field&);                  \
+  template Poly poly_mul_karatsuba<Field>(const Poly&, const Poly&,        \
+                                          const Field&);                   \
+  template Poly poly_mul<Field>(const Poly&, const Poly&, const Field&);   \
+  template void poly_divrem<Field>(const Poly&, const Poly&, const Field&, \
+                                   Poly*, Poly*);                          \
+  template Poly poly_rem<Field>(const Poly&, const Poly&, const Field&);   \
+  template Poly poly_gcd<Field>(Poly, Poly, const Field&);                 \
+  template void poly_xgcd_partial<Field>(const Poly&, const Poly&, int,    \
+                                         const Field&, Poly*, Poly*,       \
+                                         Poly*);                           \
+  template u64 poly_eval<Field>(const Poly&, u64, const Field&);           \
+  template std::vector<u64> poly_eval_many<Field>(                         \
+      const Poly&, std::span<const u64>, const Field&);                    \
+  template Poly poly_derivative<Field>(const Poly&, const Field&);
+
+CAMELOT_POLY_INSTANTIATE(PrimeField)
+CAMELOT_POLY_INSTANTIATE(MontgomeryField)
+#undef CAMELOT_POLY_INSTANTIATE
 
 }  // namespace camelot

@@ -6,17 +6,21 @@ GaoResult gao_decode(const ReedSolomonCode& code,
                      std::span<const u64> received) {
   GaoResult out;
   const PrimeField& f = code.field();
+  const MontgomeryField& m = code.mont();
   const std::size_t e = code.length();
   const std::size_t d = code.degree_bound();
 
-  const Poly& g0 = code.locator_product();
-  Poly g1 = code.interpolate_received(received);
+  // The whole remainder sequence runs on Montgomery-domain
+  // polynomials; only the decoded message and corrected codeword are
+  // converted back at the end.
+  const Poly& g0 = code.locator_product_mont();
+  Poly g1 = code.interpolate_received_mont(received);
 
   // The received word is itself a codeword (in particular the all-zero
   // word, which degenerates the Euclidean remainder sequence).
   if (g1.degree() <= static_cast<int>(d)) {
     out.status = DecodeStatus::kOk;
-    out.message = g1;
+    out.message = Poly{m.from_mont_vec(g1.c)};
     out.corrected.assign(received.begin(), received.end());
     for (u64& v : out.corrected) v = f.reduce(v);
     return out;
@@ -25,18 +29,18 @@ GaoResult gao_decode(const ReedSolomonCode& code,
   // Stop when deg G < (e + d + 1) / 2.
   const int stop = static_cast<int>((e + d + 1) / 2);
   Poly g, u, v;
-  poly_xgcd_partial(g0, g1, stop, f, &g, &u, &v);
+  poly_xgcd_partial(g0, g1, stop, m, &g, &u, &v);
 
   Poly p, r;
   if (v.is_zero()) return out;
-  poly_divrem(g, v, f, &p, &r);
+  poly_divrem(g, v, m, &p, &r);
   if (!r.is_zero() || p.degree() > static_cast<int>(d)) {
     return out;  // decoding failure: too many errors
   }
 
   out.status = DecodeStatus::kOk;
-  out.message = p;
-  out.corrected = code.evaluate_at_points(p);
+  out.message = Poly{m.from_mont_vec(p.c)};
+  out.corrected = m.from_mont_vec(code.evaluate_at_points_mont(p));
   for (std::size_t i = 0; i < e; ++i) {
     if (out.corrected[i] != f.reduce(received[i])) {
       out.error_locations.push_back(i);

@@ -58,4 +58,25 @@ Poly ReedSolomonCode::interpolate_received(
 
 const Poly& ReedSolomonCode::locator_product() const { return tree_->root(); }
 
+const MontgomeryField& ReedSolomonCode::mont() const noexcept {
+  return tree_->mont();
+}
+
+Poly ReedSolomonCode::interpolate_received_mont(
+    std::span<const u64> received) const {
+  if (received.size() != points_.size()) {
+    throw std::invalid_argument("ReedSolomonCode: received length mismatch");
+  }
+  return tree_->interpolate_mont(tree_->mont().to_mont_vec(received));
+}
+
+std::vector<u64> ReedSolomonCode::evaluate_at_points_mont(
+    const Poly& p_mont) const {
+  return tree_->evaluate_mont(p_mont);
+}
+
+const Poly& ReedSolomonCode::locator_product_mont() const {
+  return tree_->root_mont();
+}
+
 }  // namespace camelot

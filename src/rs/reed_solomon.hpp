@@ -30,6 +30,8 @@ class ReedSolomonCode {
                   std::vector<u64> points);
 
   const PrimeField& field() const noexcept { return field_; }
+  // Montgomery context shared with the code's subproduct tree.
+  const MontgomeryField& mont() const noexcept;
   std::size_t length() const noexcept { return points_.size(); }
   std::size_t degree_bound() const noexcept { return degree_bound_; }
   const std::vector<u64>& points() const noexcept { return points_; }
@@ -48,6 +50,12 @@ class ReedSolomonCode {
 
   // Product polynomial G0 = prod_i (x - x_i).
   const Poly& locator_product() const;
+
+  // Montgomery-domain pipeline used by the Gao decoder: canonical
+  // received symbols in, Montgomery-domain polynomial out (and back).
+  Poly interpolate_received_mont(std::span<const u64> received) const;
+  std::vector<u64> evaluate_at_points_mont(const Poly& p_mont) const;
+  const Poly& locator_product_mont() const;
 
  private:
   PrimeField field_;

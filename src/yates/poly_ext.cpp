@@ -2,7 +2,6 @@
 
 #include <stdexcept>
 
-#include "poly/lagrange.hpp"
 #include "yates/yates.hpp"
 
 namespace camelot {
@@ -12,12 +11,12 @@ YatesPolynomialExtension::YatesPolynomialExtension(
     std::size_t s_dim, unsigned k, std::vector<SparseEntry> entries,
     int ell_override)
     : field_(f),
-      base_(std::move(base)),
+      mont_(f),
       t_dim_(t_dim),
       s_dim_(s_dim),
       k_(k),
       entries_(std::move(entries)) {
-  if (base_.size() != t_dim_ * s_dim_) {
+  if (base.size() != t_dim_ * s_dim_) {
     throw std::invalid_argument("YatesPolynomialExtension: base shape");
   }
   if (t_dim_ < s_dim_) {
@@ -39,38 +38,64 @@ YatesPolynomialExtension::YatesPolynomialExtension(
     throw std::invalid_argument(
         "YatesPolynomialExtension: field too small for outer domain");
   }
-  base_transposed_.assign(s_dim_ * t_dim_, 0);
+  // Point-independent precomputation, all in the Montgomery domain:
+  // both base tables and the sparse entry values. The canonical table
+  // is not retained — the Montgomery copies are the working state.
+  base_mont_ = mont_.to_mont_vec(base);
+  std::vector<u64> transposed(s_dim_ * t_dim_, 0);
   for (std::size_t i = 0; i < t_dim_; ++i) {
     for (std::size_t j = 0; j < s_dim_; ++j) {
-      base_transposed_[j * t_dim_ + i] = base_[i * s_dim_ + j];
+      transposed[j * t_dim_ + i] = base[i * s_dim_ + j];
     }
+  }
+  base_transposed_mont_ = mont_.to_mont_vec(transposed);
+  entry_values_mont_.reserve(entries_.size());
+  for (const SparseEntry& se : entries_) {
+    entry_values_mont_.push_back(mont_.to_mont(mont_.reduce(se.value)));
   }
 }
 
-std::vector<u64> YatesPolynomialExtension::evaluate(u64 z0) const {
-  // Phi_i(z0) for the outer domain 1..t^{k-ell} (eq. (6), computed by
-  // the factorial trick in O(t^{k-ell})).
-  std::vector<u64> phi = lagrange_basis_consecutive(
-      1, static_cast<std::size_t>(num_outer_), z0, field_);
+const ConsecutiveLagrange& YatesPolynomialExtension::lagrange() const {
+  if (!lagrange_.has_value()) {
+    lagrange_.emplace(1, static_cast<std::size_t>(num_outer_), field_);
+  }
+  return *lagrange_;
+}
 
+std::vector<u64> YatesPolynomialExtension::evaluate_mont_with_phi(
+    std::span<const u64> phi) const {
+  const MontgomeryField& m = mont();
   // alpha_j(z0) for every outer digit pattern j in [s^{k-ell}]:
   // a Kronecker-power matrix-vector product with the *transposed*
   // base, computed by classical Yates (eq. (8)).
   std::vector<u64> alpha =
-      yates_apply(field_, base_transposed_, s_dim_, t_dim_, phi, k_ - ell_);
+      yates_apply(m, base_transposed_mont_, s_dim_, t_dim_, phi, k_ - ell_);
 
   // Scatter the sparse input, weighting entry j by alpha_{suffix(j)}.
   const u64 suffix_size = ipow(s_dim_, k_ - ell_);
   std::vector<u64> x_ell(ipow(s_dim_, ell_), 0);
-  for (const SparseEntry& se : entries_) {
+  for (std::size_t n = 0; n < entries_.size(); ++n) {
+    const SparseEntry& se = entries_[n];
     const u64 j_prefix = se.index / suffix_size;
     const u64 j_suffix = se.index % suffix_size;
     const u64 w = alpha[j_suffix];
     if (w == 0) continue;
-    x_ell[j_prefix] = field_.add(x_ell[j_prefix], field_.mul(w, se.value));
+    x_ell[j_prefix] = m.add(x_ell[j_prefix], m.mul(w, entry_values_mont_[n]));
   }
   // Dense Yates over the inner digits.
-  return yates_apply(field_, base_, t_dim_, s_dim_, x_ell, ell_);
+  return yates_apply(m, base_mont_, t_dim_, s_dim_, x_ell, ell_);
+}
+
+std::vector<u64> YatesPolynomialExtension::evaluate_mont(u64 z0) const {
+  // Phi_i(z0) for the outer domain 1..t^{k-ell} (eq. (6), computed by
+  // the factorial trick in O(t^{k-ell})).
+  return evaluate_mont_with_phi(lagrange().basis_mont(z0));
+}
+
+std::vector<u64> YatesPolynomialExtension::evaluate(u64 z0) const {
+  std::vector<u64> out = evaluate_mont(z0);
+  mont().from_mont_inplace(out);
+  return out;
 }
 
 }  // namespace camelot

@@ -8,8 +8,17 @@
 //
 // The outer-loop iterations are identified with the field points
 // 1, 2, ..., t^{k-ell} (the paper's [t^{k-ell}]).
+//
+// All tables (base matrix, transposed base, sparse entry values) are
+// held in the Montgomery domain and the evaluation pipeline — basis,
+// two Yates passes, scatter — never leaves it. The Lagrange factorial
+// cache is built once at construction, so batched proof evaluation
+// over many points amortizes everything point-independent.
 #pragma once
 
+#include <optional>
+
+#include "poly/lagrange.hpp"
 #include "yates/split_sparse.hpp"
 
 namespace camelot {
@@ -27,20 +36,42 @@ class YatesPolynomialExtension {
   // Degree bound of each part-entry polynomial u_{i_1..i_ell}(z).
   u64 poly_degree_bound() const noexcept { return num_outer_ - 1; }
 
+  const MontgomeryField& mont() const noexcept { return mont_; }
+  // The outer-domain Lagrange cache (nodes 1..t^{k-ell}), built on
+  // first use: callers that combine several extensions of the same
+  // shape (count/triangle_camelot) query only one of them, so the
+  // others never pay for a cache. Not thread-safe; an extension is
+  // owned by a single evaluator, which the framework confines to one
+  // worker thread.
+  const ConsecutiveLagrange& lagrange() const;
+
   // Values u_{i_1..i_ell}(z0) for all t^ell inner indices. Runs in
   // O(|D| + t^{k-ell}) plus the ell-level dense Yates, per §3.3.
   std::vector<u64> evaluate(u64 z0) const;
 
+  // Montgomery-domain result; saves the boundary conversion when the
+  // caller combines several extensions (count/triangle_camelot).
+  std::vector<u64> evaluate_mont(u64 z0) const;
+
+  // Same, reusing an already computed Montgomery-domain basis
+  // phi = lagrange().basis_mont(z0). Extensions built from the same
+  // decomposition share phi, so a caller evaluating three of them per
+  // point computes the basis once instead of three times.
+  std::vector<u64> evaluate_mont_with_phi(std::span<const u64> phi) const;
+
  private:
   PrimeField field_;
-  std::vector<u64> base_;
-  std::vector<u64> base_transposed_;
+  MontgomeryField mont_;
+  std::vector<u64> base_mont_;        // Montgomery domain
+  std::vector<u64> base_transposed_mont_;
   std::size_t t_dim_, s_dim_;
   unsigned k_;
   std::vector<SparseEntry> entries_;
+  std::vector<u64> entry_values_mont_;
   unsigned ell_;
   u64 num_outer_ = 0;
   u64 part_size_ = 0;
+  mutable std::optional<ConsecutiveLagrange> lagrange_;
 };
 
 }  // namespace camelot

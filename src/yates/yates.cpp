@@ -4,15 +4,26 @@
 
 namespace camelot {
 
-std::vector<u64> yates_apply(const PrimeField& f, std::span<const u64> base,
-                             std::size_t t_dim, std::size_t s_dim,
-                             std::span<const u64> x, unsigned k) {
+namespace {
+
+template <class Field>
+std::vector<u64> yates_apply_impl(const Field& fref,
+                                  std::span<const u64> base,
+                                  std::size_t t_dim, std::size_t s_dim,
+                                  std::span<const u64> x, unsigned k) {
+  // By-value copy keeps the field constants in registers across the
+  // dst[] stores (a reference could alias the written data).
+  const Field f = fref;
   if (base.size() != t_dim * s_dim) {
     throw std::invalid_argument("yates_apply: base shape mismatch");
   }
   if (x.size() != ipow(s_dim, k)) {
     throw std::invalid_argument("yates_apply: input size != s^k");
   }
+  // Trilinear decompositions are dominated by 0/±1 weights, so the
+  // unit-weight fast path matters; f.one() is the in-domain unit (the
+  // Montgomery form of 1 for that backend).
+  const u64 unit = f.one();
   std::vector<u64> cur(x.begin(), x.end());
   // After level L the array is indexed by
   // (i_1..i_L, j_{L+1}..j_k)  ->  prefix * s^{k-L} + suffix,
@@ -28,7 +39,7 @@ std::vector<u64> yates_apply(const PrimeField& f, std::span<const u64> base,
           if (w == 0) continue;
           const u64* src = cur.data() + (p * s_dim + j) * suffix_count;
           u64* dst = next.data() + (p * t_dim + i) * suffix_count;
-          if (w == 1) {
+          if (w == unit) {
             for (u64 s = 0; s < suffix_count; ++s) {
               dst[s] = f.add(dst[s], src[s]);
             }
@@ -43,6 +54,21 @@ std::vector<u64> yates_apply(const PrimeField& f, std::span<const u64> base,
     cur = std::move(next);
   }
   return cur;
+}
+
+}  // namespace
+
+std::vector<u64> yates_apply(const PrimeField& f, std::span<const u64> base,
+                             std::size_t t_dim, std::size_t s_dim,
+                             std::span<const u64> x, unsigned k) {
+  return yates_apply_impl(f, base, t_dim, s_dim, x, k);
+}
+
+std::vector<u64> yates_apply(const MontgomeryField& f,
+                             std::span<const u64> base, std::size_t t_dim,
+                             std::size_t s_dim, std::span<const u64> x,
+                             unsigned k) {
+  return yates_apply_impl(f, base, t_dim, s_dim, x, k);
 }
 
 std::vector<u64> yates_apply_naive(const PrimeField& f,

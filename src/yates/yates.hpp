@@ -13,15 +13,23 @@
 #include <vector>
 
 #include "field/field.hpp"
+#include "field/montgomery.hpp"
 
 namespace camelot {
 
 // y = (A^{(x)k}) x, where `base` is the t_dim x s_dim matrix A in
 // row-major order (field elements), and x has s_dim^k entries.
-// Returns t_dim^k entries.
+// Returns t_dim^k entries. The MontgomeryField overload expects base
+// and x in the Montgomery domain and returns domain values (each
+// output entry is a sum of products with exactly one weight factor
+// per level, so the representation is preserved level by level).
 std::vector<u64> yates_apply(const PrimeField& f, std::span<const u64> base,
                              std::size_t t_dim, std::size_t s_dim,
                              std::span<const u64> x, unsigned k);
+std::vector<u64> yates_apply(const MontgomeryField& f,
+                             std::span<const u64> base, std::size_t t_dim,
+                             std::size_t s_dim, std::span<const u64> x,
+                             unsigned k);
 
 // Reference implementation by the defining sum (3): O((st)^k k) — used
 // only for differential testing.
