@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "field/field_cache.hpp"
 #include "field/montgomery.hpp"
 #include "field/primes.hpp"
 #include "poly/multipoint.hpp"
@@ -130,8 +131,11 @@ struct RefTree {
 
 // ---- timing ---------------------------------------------------------------
 
+// Reduced by --quick (the CI smoke run) to keep the job fast.
+double g_min_seconds = 0.25;
+
 template <typename Fn>
-double ns_per_op(Fn&& fn, double min_seconds = 0.25) {
+double ns_per_op(Fn&& fn, double min_seconds = g_min_seconds) {
   // fn() performs one "op" and returns the number of inner units it
   // covered (1 for a whole transform, n for an array of muls).
   double total_units = fn();  // warm-up counts too
@@ -147,6 +151,8 @@ double ns_per_op(Fn&& fn, double min_seconds = 0.25) {
 
 struct Entry {
   const char* name;
+  const char* before_key;
+  const char* after_key;
   double before_ns;
   double after_ns;
 };
@@ -156,7 +162,15 @@ struct Entry {
 
 int main(int argc, char** argv) {
   using namespace camelot;
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_field.json";
+  std::string out_path = "BENCH_field.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      g_min_seconds = 0.02;  // CI smoke mode
+    } else {
+      out_path = arg;
+    }
+  }
 
   const u64 q = find_ntt_prime(u64{1} << 40, 20);  // large, NTT-friendly
   PrimeField f(q);
@@ -184,7 +198,8 @@ int main(int argc, char** argv) {
       g_sink = acc;
       return static_cast<double>(kN);
     });
-    entries.push_back({"mul", before, after});
+    entries.push_back(
+        {"mul", "division_ns_per_op", "montgomery_ns_per_op", before, after});
   }
 
   // --- NTT (forward transform, length 2^14) -------------------------------
@@ -204,7 +219,8 @@ int main(int argc, char** argv) {
       g_sink = a[0];
       return 1.0;
     });
-    entries.push_back({"ntt", before, after});
+    entries.push_back(
+        {"ntt", "division_ns_per_op", "montgomery_ns_per_op", before, after});
   }
 
   // --- multipoint evaluation (2048 points, degree 2047) -------------------
@@ -225,7 +241,59 @@ int main(int argc, char** argv) {
       g_sink = tree.evaluate(p, f)[0];
       return 1.0;
     });
-    entries.push_back({"multipoint_eval", before, after});
+    entries.push_back({"multipoint_eval", "division_ns_per_op",
+                       "montgomery_ns_per_op", before, after});
+  }
+
+  // --- NTT twiddle cache (FieldCache root-power tables, length 2^14) ------
+  // "before" is the Montgomery kernel that re-powers the stage roots on
+  // every call; "after" loads them from the FieldCache tables a session
+  // shares across all of its transforms over the same prime.
+  {
+    constexpr std::size_t kN = 1 << 14;
+    FieldCache cache;
+    const auto tables = cache.ntt_tables(q, kN);
+    std::vector<u64> base(kN);
+    for (auto& v : base) v = rng() % q;
+    const std::vector<u64> base_mont = m.to_mont_vec(base);
+    const double before = ns_per_op([&] {
+      std::vector<u64> a = base_mont;
+      ntt_inplace(a, false, m);
+      g_sink = a[0];
+      return 1.0;
+    });
+    const double after = ns_per_op([&] {
+      std::vector<u64> a = base_mont;
+      ntt_inplace(a, false, m, *tables);
+      g_sink = a[0];
+      return 1.0;
+    });
+    entries.push_back({"ntt_twiddle_cache", "uncached_ns_per_op",
+                       "cached_ns_per_op", before, after});
+  }
+
+  // --- subproduct-tree build through cached twiddles (2048 points) --------
+  // The per-prime construction cost a ProofSession pays for each
+  // Reed--Solomon code: plain FieldOps (no tables) vs FieldCache ops.
+  {
+    constexpr std::size_t kN = 2048;
+    FieldCache cache;
+    const FieldOps plain(f);
+    const FieldOps cached = cache.ops(q, 2 * kN);
+    std::vector<u64> pts(kN);
+    std::iota(pts.begin(), pts.end(), u64{1});
+    const double before = ns_per_op([&] {
+      SubproductTree t(pts, plain);
+      g_sink = t.root().c[0];
+      return 1.0;
+    });
+    const double after = ns_per_op([&] {
+      SubproductTree t(pts, cached);
+      g_sink = t.root().c[0];
+      return 1.0;
+    });
+    entries.push_back({"subproduct_tree_build", "uncached_ns_per_op",
+                       "cached_ns_per_op", before, after});
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -239,10 +307,10 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     std::fprintf(out,
-                 "    \"%s\": {\"division_ns_per_op\": %.2f, "
-                 "\"montgomery_ns_per_op\": %.2f, \"speedup\": %.2f}%s\n",
-                 e.name, e.before_ns, e.after_ns, e.before_ns / e.after_ns,
-                 i + 1 < entries.size() ? "," : "");
+                 "    \"%s\": {\"%s\": %.2f, \"%s\": %.2f, "
+                 "\"speedup\": %.2f}%s\n",
+                 e.name, e.before_key, e.before_ns, e.after_key, e.after_ns,
+                 e.before_ns / e.after_ns, i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(out, "  }\n}\n");
   std::fclose(out);

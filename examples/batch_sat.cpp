@@ -1,9 +1,14 @@
-// Verifiable model counting: #CNFSAT through the orthogonal-vectors
-// reduction (Theorem 8(1) / §A.2), with a tampered-proof rejection
-// demo (eq. (2)).
+// Verifiable model counting: a *batch* of #CNFSAT instances through
+// the orthogonal-vectors reduction (Theorem 8(1) / §A.2), served
+// concurrently by a ProofService — spec-identical formulas share one
+// cached PrimePlan and the per-prime field state — plus a
+// tampered-proof rejection demo (eq. (2)).
 #include <cstdio>
 
-#include "core/cluster.hpp"
+#include <future>
+#include <vector>
+
+#include "core/proof_service.hpp"
 #include "core/verifier.hpp"
 #include "exp/cnfsat.hpp"
 #include "field/primes.hpp"
@@ -12,29 +17,44 @@
 int main() {
   using namespace camelot;
 
-  CnfFormula formula = CnfFormula::random_ksat(/*num_vars=*/12,
+  constexpr unsigned kBatch = 4;
+  std::vector<CnfFormula> formulas;
+  std::vector<std::shared_ptr<const CamelotProblem>> problems;
+  for (unsigned i = 0; i < kBatch; ++i) {
+    formulas.push_back(CnfFormula::random_ksat(/*num_vars=*/12,
                                                /*num_clauses=*/40,
-                                               /*k=*/3, /*seed=*/99);
-  std::printf("random 3-SAT: v=%u m=%zu\n", formula.num_vars,
-              formula.clauses.size());
+                                               /*k=*/3, /*seed=*/99 + i));
+    problems.emplace_back(make_cnfsat_problem(formulas.back()));
+  }
+  std::printf("batch of %u random 3-SAT instances: v=12 m=40\n", kBatch);
 
-  auto problem = make_cnfsat_problem(formula);
   ClusterConfig config;
   config.num_nodes = 8;
-  Cluster table(config);
-  RunReport report = table.run(*problem);
-  if (!report.success) {
-    std::puts("run failed");
-    return 1;
+
+  ProofService service;  // worker pool + keyed plan/field caches
+  std::vector<std::future<RunReport>> futures;
+  for (const auto& p : problems) futures.push_back(service.submit(p, config));
+
+  RunReport report;  // last report, reused for the stats below
+  for (unsigned i = 0; i < kBatch; ++i) {
+    report = futures[i].get();
+    if (!report.success) {
+      std::printf("instance %u failed\n", i);
+      return 1;
+    }
+    BigInt models(0);
+    for (const BigInt& c : report.answers) models += c;
+    std::printf("  instance %u: verified #SAT = %-6s (brute force: %llu)\n",
+                i, models.to_string().c_str(),
+                static_cast<unsigned long long>(count_sat_brute(formulas[i])));
   }
-  BigInt models(0);
-  for (const BigInt& c : report.answers) models += c;
-  std::printf("verified #SAT = %s (brute force: %llu)\n",
-              models.to_string().c_str(),
-              static_cast<unsigned long long>(count_sat_brute(formula)));
-  std::printf("proof: %zu symbols over %zu primes (2^{v/2} = %u)\n",
-              report.proof_symbols, report.num_primes,
-              1u << (formula.num_vars / 2));
+  const ProofService::Stats stats = service.stats();
+  std::printf("proof: %zu symbols over %zu primes; plan cache %zu hits / "
+              "%zu misses across the batch\n",
+              report.proof_symbols, report.num_primes, stats.plan_cache_hits,
+              stats.plan_cache_misses);
+  const CnfFormula& formula = formulas[0];
+  const auto& problem = problems[0];
 
   // Independent verification demo: rebuild the honest proof over one
   // prime, tamper with one coefficient, and watch eq. (2) reject it.

@@ -1,12 +1,14 @@
 // Morgana's enchantment: two Knights out of twelve are corrupted while
 // the table counts triangles. The honest decode corrects their
 // symbols, names the traitors, and the verified answer is unharmed.
-// A second run corrupts seven Knights — beyond the decoding radius —
-// and the failure is *detected*, never silently wrong (§1.3).
+// A second pass corrupts seven Knights — beyond the decoding radius —
+// and the failure is *detected*, never silently wrong (§1.3). The
+// staged ProofSession then re-runs only the broadcast and decode on a
+// clean channel: the symbols the Knights already computed are reused.
 #include <cstdio>
 #include <numeric>
 
-#include "core/cluster.hpp"
+#include "core/proof_session.hpp"
 #include "count/triangle_camelot.hpp"
 #include "graph/brute.hpp"
 #include "graph/generators.hpp"
@@ -23,12 +25,12 @@ int main() {
   ClusterConfig config;
   config.num_nodes = 12;
   config.redundancy = 2.0;  // buys a decoding radius of ~(d+1)/2 symbols
-  Cluster table(config);
 
   std::puts("\n-- two corrupted Knights (within the decoding radius) --");
   ByzantineAdversary two({3, 8}, ByzantineStrategy::kColludingPolynomial,
                          1337);
-  RunReport report = table.run(problem, &two);
+  ProofSession session(problem, config);
+  RunReport report = session.run(&two);
   std::printf("success: %s\n", report.success ? "yes" : "no");
   if (report.success) {
     std::printf("verified triangles: %s\n",
@@ -36,7 +38,7 @@ int main() {
                     .to_string()
                     .c_str());
     std::printf("traitors identified:");
-    for (std::size_t node : report.implicated_nodes()) {
+    for (std::size_t node : session.implicated_nodes()) {
       std::printf(" knight-%zu", node);
     }
     std::puts("");
@@ -46,7 +48,8 @@ int main() {
   std::vector<std::size_t> many(7);
   std::iota(many.begin(), many.end(), std::size_t{0});
   ByzantineAdversary seven(many, ByzantineStrategy::kRandom, 4242);
-  RunReport bad = table.run(problem, &seven);
+  ProofSession siege(problem, config);
+  RunReport bad = siege.run(&seven);
   std::printf("success: %s (expected: no — the computation failed and "
               "every node can tell)\n",
               bad.success ? "yes" : "no");
@@ -56,5 +59,25 @@ int main() {
                 pr.decode_status == DecodeStatus::kOk ? "ok" : "FAIL",
                 pr.verified ? "ok" : "FAIL");
   }
-  return bad.success ? 1 : 0;  // success here would be a bug
+  if (bad.success) return 1;  // success here would be a bug
+
+  std::puts("\n-- staged recovery: re-broadcast on a clean channel --");
+  // The Knights' prepared symbols are still in the session; only the
+  // failed stages run again, prime by prime.
+  for (std::size_t pi = 0; pi < siege.num_primes(); ++pi) {
+    siege.transport_prime(pi, LosslessChannel());
+    siege.decode_prime(pi);
+    siege.verify_prime(pi);
+    siege.recover_prime(pi);
+  }
+  RunReport healed = siege.report();
+  std::printf("success after re-transport: %s, triangles %s\n",
+              healed.success ? "yes" : "no",
+              healed.success
+                  ? TriangleCountProblem::triangles_from_answer(
+                        healed.answers[0])
+                        .to_string()
+                        .c_str()
+                  : "?");
+  return healed.success ? 0 : 1;
 }

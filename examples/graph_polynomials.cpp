@@ -1,10 +1,13 @@
 // Graph polynomials with verifiable distributed computation: the
 // chromatic polynomial of the Petersen-minus-two-vertices graph
 // (Theorem 6) and a Tutte/Potts grid (Theorem 7), cross-checked
-// against classical identities.
+// against classical identities. Both jobs are submitted to one
+// ProofService and run concurrently on its worker pool.
 #include <cstdio>
 
-#include "core/cluster.hpp"
+#include <future>
+
+#include "core/proof_service.hpp"
 #include "exp/chromatic.hpp"
 #include "exp/tutte.hpp"
 #include "graph/brute.hpp"
@@ -19,11 +22,17 @@ int main() {
   std::printf("chromatic polynomial, n=%zu m=%zu\n", g.num_vertices(),
               g.num_edges());
 
-  ChromaticProblem chrom(g);
+  auto chrom = std::make_shared<ChromaticProblem>(g);
+  Graph c6 = cycle_graph(6);
+  auto tutte_p = std::make_shared<TutteProblem>(c6);
+
   ClusterConfig config;
   config.num_nodes = 8;
-  Cluster table(config);
-  RunReport report = table.run(chrom);
+  ProofService service;
+  std::future<RunReport> chrom_future = service.submit(chrom, config);
+  std::future<RunReport> tutte_future = service.submit(tutte_p, config);
+
+  RunReport report = chrom_future.get();
   if (!report.success) {
     std::puts("chromatic run failed");
     return 1;
@@ -42,9 +51,7 @@ int main() {
   std::puts("");
 
   // --- Tutte polynomial of C6 via the Potts grid ---
-  Graph c6 = cycle_graph(6);
-  TutteProblem tutte(c6);
-  RunReport trep = table.run(tutte);
+  RunReport trep = tutte_future.get();
   if (!trep.success) {
     std::puts("tutte run failed");
     return 1;
@@ -52,7 +59,7 @@ int main() {
   std::puts("\nTutte/Potts of C6 (verified):");
   // Classical facts: T(C6; 1,1) = #spanning trees = 6;
   // T(2,2) = 2^m = 64. Check through Z(t,r) = (x-1)^c (y-1)^n T(x,y).
-  const BigInt z11 = trep.answers[tutte.grid_index(1, 1)];
+  const BigInt z11 = trep.answers[tutte_p->grid_index(1, 1)];
   std::printf("  Z(1,1) = %s  (= 1 * 1^6 * T(2,2) = 64?)\n",
               z11.to_string().c_str());
   const BigInt t11 = tutte_value_delcontract(c6, 1, 1);

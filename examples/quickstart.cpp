@@ -2,12 +2,13 @@
 // Round Table of 8 Knights.
 //
 //   1. Build a graph and wrap it as a CamelotProblem (Theorem 1).
-//   2. Run the cluster: nodes evaluate the proof polynomial, the
-//      codeword is decoded, spot-checked, and CRT-reconstructed.
+//   2. Drive the staged ProofSession: nodes evaluate the proof
+//      polynomial (prepare), the codeword is broadcast (transport),
+//      decoded, spot-checked (verify), and CRT-reconstructed.
 //   3. Read the verified integer answer.
 #include <cstdio>
 
-#include "core/cluster.hpp"
+#include "core/proof_session.hpp"
 #include "count/clique_camelot.hpp"
 #include "graph/brute.hpp"
 #include "graph/generators.hpp"
@@ -27,9 +28,18 @@ int main() {
   ClusterConfig config;
   config.num_nodes = 8;      // Knights around the table
   config.redundancy = 1.5;   // codeword length e ~ 1.5 (d+1)
-  Cluster table(config);
 
-  RunReport report = table.run(problem);
+  // The staged pipeline, one stage per paper step. (The legacy
+  // one-shot `Cluster(config).run(problem)` still works and does
+  // exactly this internally.)
+  ProofSession session(problem, config);
+  session.prepare();    // step 1: per-node symbol chunks
+  session.transport();  // broadcast bus (lossless here)
+  session.decode();     // step 2: Gao decode + node implication
+  session.verify();     // step 3: random spot checks
+  session.recover();    // residues per prime
+
+  RunReport report = session.report();  // CRT across primes
   if (!report.success) {
     std::puts("proof preparation FAILED (decode or verification)");
     return 1;

@@ -72,7 +72,7 @@ namespace {
 
 class Conv3SumEvaluator : public Evaluator {
  public:
-  Conv3SumEvaluator(const PrimeField& f, const std::vector<u64>& values,
+  Conv3SumEvaluator(const FieldOps& f, const std::vector<u64>& values,
                     unsigned bits)
       : Evaluator(f), values_(values), bits_(bits) {}
 
@@ -121,7 +121,7 @@ class Conv3SumEvaluator : public Evaluator {
 }  // namespace
 
 std::unique_ptr<Evaluator> Conv3SumProblem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<Conv3SumEvaluator>(f, values_, bits_);
 }
 

@@ -21,7 +21,7 @@ class Conv3SumProblem : public CamelotProblem {
   std::string name() const override { return "convolution-3sum"; }
   ProofSpec spec() const override;
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
   // Answers: c_1..c_{n/2} (witness counts per first index).
   std::vector<u64> recover(const Poly& proof,
                            const PrimeField& f) const override;

@@ -153,7 +153,7 @@ namespace {
 
 class Csp2Evaluator : public Evaluator {
  public:
-  Csp2Evaluator(const PrimeField& f, const Csp2Problem& p,
+  Csp2Evaluator(const FieldOps& f, const Csp2Problem& p,
                 const TrilinearDecomposition& dec, unsigned t, u64 rank,
                 std::size_t num_weights, std::size_t n_pad)
       : Evaluator(f),
@@ -216,7 +216,7 @@ class Csp2Evaluator : public Evaluator {
 }  // namespace
 
 std::unique_ptr<Evaluator> Csp2Problem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<Csp2Evaluator>(f, *this, dec_, t_, rank_,
                                          inst_.constraints.size() + 1,
                                          padded_);

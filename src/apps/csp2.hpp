@@ -47,7 +47,7 @@ class Csp2Problem : public CamelotProblem {
   std::string name() const override { return "csp2-enumeration"; }
   ProofSpec spec() const override;
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
   std::vector<u64> recover(const Poly& proof,
                            const PrimeField& f) const override;
 

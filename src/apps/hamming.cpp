@@ -31,7 +31,7 @@ namespace {
 
 class HammingEvaluator : public Evaluator {
  public:
-  HammingEvaluator(const PrimeField& f, const BoolMatrix& a,
+  HammingEvaluator(const FieldOps& f, const BoolMatrix& a,
                    const BoolMatrix& b)
       : Evaluator(f), a_(a), b_(b) {}
 
@@ -87,7 +87,7 @@ class HammingEvaluator : public Evaluator {
 }  // namespace
 
 std::unique_ptr<Evaluator> HammingDistributionProblem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<HammingEvaluator>(f, a_, b_);
 }
 

@@ -18,7 +18,7 @@ class HammingDistributionProblem : public CamelotProblem {
   std::string name() const override { return "hamming-distribution"; }
   ProofSpec spec() const override;
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
   // Answers: c_{ih} flattened as i*(t+1)+h for i = 0..n-1, h = 0..t.
   std::vector<u64> recover(const Poly& proof,
                            const PrimeField& f) const override;

@@ -40,7 +40,7 @@ namespace {
 
 class OvEvaluator : public Evaluator {
  public:
-  OvEvaluator(const PrimeField& f, const BoolMatrix& a, const BoolMatrix& b)
+  OvEvaluator(const FieldOps& f, const BoolMatrix& a, const BoolMatrix& b)
       : Evaluator(f), a_(a), b_(b) {}
 
   u64 eval(u64 x0) override {
@@ -75,7 +75,7 @@ class OvEvaluator : public Evaluator {
 }  // namespace
 
 std::unique_ptr<Evaluator> OrthogonalVectorsProblem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<OvEvaluator>(f, a_, b_);
 }
 

@@ -30,7 +30,7 @@ class OrthogonalVectorsProblem : public CamelotProblem {
   std::string name() const override { return "orthogonal-vectors"; }
   ProofSpec spec() const override;
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
   // Answers: c_1, ..., c_n.
   std::vector<u64> recover(const Poly& proof,
                            const PrimeField& f) const override;

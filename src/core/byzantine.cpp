@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/rng.hpp"
+
 namespace camelot {
 
 ByzantineAdversary::ByzantineAdversary(std::vector<std::size_t> corrupt_nodes,
@@ -24,7 +26,21 @@ void ByzantineAdversary::corrupt(std::span<u64> codeword,
                                  std::span<const std::size_t> owners,
                                  std::span<const u64> points,
                                  const PrimeField& f) const {
-  std::mt19937_64 rng(seed_);
+  corrupt_with_rng_seed(codeword, owners, points, f, seed_);
+}
+
+void ByzantineAdversary::corrupt(std::span<u64> codeword,
+                                 std::span<const std::size_t> owners,
+                                 std::span<const u64> points,
+                                 const PrimeField& f, u64 stream) const {
+  corrupt_with_rng_seed(codeword, owners, points, f,
+                        splitmix64(seed_ ^ stream));
+}
+
+void ByzantineAdversary::corrupt_with_rng_seed(
+    std::span<u64> codeword, std::span<const std::size_t> owners,
+    std::span<const u64> points, const PrimeField& f, u64 rng_seed) const {
+  std::mt19937_64 rng(rng_seed);
   // Colluding adversary: fixed wrong polynomial of degree 2 shared by
   // all corrupt nodes (coefficients derived from the seed only, so the
   // corruption is consistent across nodes as a real collusion is).

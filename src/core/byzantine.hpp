@@ -41,14 +41,28 @@ class ByzantineAdversary {
 
   // Applies the corruption in place. codeword[i] was produced by node
   // owners[i]; points[i] is its evaluation point (needed by the
-  // colluding strategy).
+  // colluding strategy). Randomness is drawn from the adversary seed
+  // alone — every call corrupts identically.
   void corrupt(std::span<u64> codeword, std::span<const std::size_t> owners,
                std::span<const u64> points, const PrimeField& f) const;
+
+  // Same, but mixes `stream` (a derive_stream(seed, prime, stage)
+  // value in the staged pipeline) into the adversary seed, so
+  // corruption differs per prime yet stays deterministic regardless
+  // of threading.
+  void corrupt(std::span<u64> codeword, std::span<const std::size_t> owners,
+               std::span<const u64> points, const PrimeField& f,
+               u64 stream) const;
 
   // True if `node` is controlled by the adversary.
   bool controls(std::size_t node) const;
 
  private:
+  void corrupt_with_rng_seed(std::span<u64> codeword,
+                             std::span<const std::size_t> owners,
+                             std::span<const u64> points, const PrimeField& f,
+                             u64 rng_seed) const;
+
   std::vector<std::size_t> corrupt_nodes_;
   ByzantineStrategy strategy_;
   u64 seed_;

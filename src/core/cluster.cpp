@@ -1,27 +1,11 @@
 #include "core/cluster.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <mutex>
-#include <span>
-#include <numeric>
 #include <set>
 #include <stdexcept>
-#include <thread>
 
-#include "field/crt.hpp"
+#include "core/proof_session.hpp"
 
 namespace camelot {
-
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-}  // namespace
 
 std::vector<std::size_t> RunReport::implicated_nodes() const {
   std::set<std::size_t> nodes;
@@ -48,124 +32,8 @@ std::size_t Cluster::symbol_owner(std::size_t i, std::size_t e,
 
 RunReport Cluster::run(const CamelotProblem& problem,
                        const ByzantineAdversary* adversary) const {
-  const auto t_start = std::chrono::steady_clock::now();
-  RunReport report;
-
-  const ProofSpec spec = problem.spec();
-  const PrimePlan plan =
-      plan_primes(spec, config_.redundancy, config_.num_primes);
-  const std::size_t e = plan.code_length;
-  const std::size_t k = config_.num_nodes;
-
-  report.proof_symbols = spec.degree_bound + 1;
-  report.code_length = e;
-  report.num_primes = plan.primes.size();
-  report.node_stats.resize(k);
-  for (std::size_t j = 0; j < k; ++j) report.node_stats[j].node_id = j;
-
-  // Symbol ownership map (identical for every prime).
-  std::vector<std::size_t> owners(e);
-  for (std::size_t i = 0; i < e; ++i) owners[i] = symbol_owner(i, e, k);
-
-  unsigned threads = config_.num_threads != 0
-                         ? config_.num_threads
-                         : std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(k));
-
-  bool all_ok = true;
-  std::vector<std::vector<u64>> residues_per_prime;
-
-  for (std::size_t pi = 0; pi < plan.primes.size(); ++pi) {
-    const PrimeField field(plan.primes[pi]);
-    const ReedSolomonCode code(field, spec.degree_bound, e);
-
-    // --- Step 1: proof preparation, in distributed encoded form. ---
-    std::vector<u64> codeword(e, 0);
-    std::atomic<std::size_t> next_node{0};
-    std::vector<std::thread> pool;
-    std::mutex stats_mutex;
-    auto worker = [&]() {
-      while (true) {
-        const std::size_t j = next_node.fetch_add(1);
-        if (j >= k) break;
-        const auto t0 = std::chrono::steady_clock::now();
-        auto evaluator = problem.make_evaluator(field);
-        // Node j owns the contiguous chunk [lo, hi) of the codeword
-        // (the closed form of symbol_owner: owner(i) = floor(i*K/e));
-        // issue a single batched call for the whole chunk so the
-        // evaluator can amortize its point-independent work.
-        const std::size_t lo = (j * e + k - 1) / k;
-        const std::size_t hi = std::min(e, ((j + 1) * e + k - 1) / k);
-        const std::size_t count = hi - lo;
-        if (count > 0) {
-          const std::span<const u64> chunk(code.points().data() + lo, count);
-          const std::vector<u64> values = evaluator->evaluate_points(chunk);
-          std::copy(values.begin(), values.end(), codeword.begin() + lo);
-        }
-        const double secs = seconds_since(t0);
-        std::lock_guard<std::mutex> lock(stats_mutex);
-        report.node_stats[j].symbols_computed += count;
-        report.node_stats[j].seconds += secs;
-      }
-    };
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-
-    // --- Adversarial corruption on the broadcast bus. ---
-    if (adversary != nullptr) {
-      adversary->corrupt(codeword, owners, code.points(), field);
-    }
-
-    // --- Step 2: error-correction during preparation of the proof. ---
-    PrimeRunReport prime_report;
-    prime_report.prime = plan.primes[pi];
-    GaoResult decoded = gao_decode(code, codeword);
-    prime_report.decode_status = decoded.status;
-    if (decoded.status == DecodeStatus::kOk) {
-      prime_report.corrected_symbols = decoded.error_locations;
-      std::set<std::size_t> nodes;
-      for (std::size_t loc : decoded.error_locations) {
-        nodes.insert(owners[loc]);
-      }
-      prime_report.implicated_nodes = {nodes.begin(), nodes.end()};
-
-      // --- Step 3: checking the putative proof for correctness. ---
-      VerifyResult vr = verify_proof(problem, decoded.message, field,
-                                     config_.verification_trials,
-                                     config_.seed ^ (0x9E3779B9u + pi));
-      prime_report.verified = vr.accepted;
-      if (vr.accepted) {
-        prime_report.answer_residues = problem.recover(decoded.message, field);
-        if (prime_report.answer_residues.size() != spec.answer_count) {
-          throw std::logic_error("CamelotProblem::recover: answer count");
-        }
-      }
-    }
-    all_ok = all_ok && prime_report.decode_status == DecodeStatus::kOk &&
-             prime_report.verified;
-    if (prime_report.verified) {
-      residues_per_prime.push_back(prime_report.answer_residues);
-    }
-    report.per_prime.push_back(std::move(prime_report));
-  }
-
-  // --- Reconstruction over the integers (CRT across primes). ---
-  if (all_ok) {
-    report.answers.reserve(spec.answer_count);
-    for (std::size_t a = 0; a < spec.answer_count; ++a) {
-      std::vector<u64> residues(plan.primes.size());
-      for (std::size_t pi = 0; pi < plan.primes.size(); ++pi) {
-        residues[pi] = residues_per_prime[pi][a];
-      }
-      report.answers.push_back(
-          spec.answers_signed ? crt_reconstruct_signed(residues, plan.primes)
-                              : crt_reconstruct(residues, plan.primes));
-    }
-  }
-  report.success = all_ok;
-  report.wall_seconds = seconds_since(t_start);
-  return report;
+  ProofSession session(problem, config_);
+  return session.run(adversary);
 }
 
 }  // namespace camelot

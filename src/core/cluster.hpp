@@ -1,83 +1,26 @@
 // The Round Table: a simulated cluster of K equally capable nodes
 // jointly preparing a Camelot proof (paper §1.3 steps 1-3).
 //
-// Each node is tasked with a contiguous chunk of roughly e/K
-// evaluation points of the proof polynomial and "broadcasts" its
-// symbols on an in-memory bus. A ByzantineAdversary may corrupt the
-// symbols of the nodes it controls. Honest decoding then runs the Gao
-// decoder on the received word, recovers the proof, identifies the
-// failed nodes from the error locations, verifies the proof by random
-// spot checks, and reconstructs the integer answers across the CRT
-// primes.
+// Cluster is the legacy one-shot facade kept source-compatible for
+// existing callers: run() constructs a ProofSession, drives every
+// stage (prepare → transport → decode → verify → recover) and returns
+// the report. New code that wants stage-level control, per-prime
+// re-runs or shared caches should use ProofSession directly; code
+// that wants to serve many problems concurrently should go through
+// ProofService.
 //
 // Substitution note (see DESIGN.md): the paper's physical network is
-// modelled by this in-process bus; the per-node computation is the
-// genuine algorithm a physical node would run, and the symbol counts
-// reported equal the network traffic the paper describes (footnote 6).
+// modelled by an in-process bus (the session's SymbolChannel); the
+// per-node computation is the genuine algorithm a physical node would
+// run, and the symbol counts reported equal the network traffic the
+// paper describes (footnote 6).
 #pragma once
 
-#include <optional>
-
 #include "core/byzantine.hpp"
-#include "core/prime_plan.hpp"
+#include "core/cluster_types.hpp"
 #include "core/proof_problem.hpp"
-#include "core/verifier.hpp"
-#include "rs/gao.hpp"
 
 namespace camelot {
-
-struct ClusterConfig {
-  // Number of Knights around the table (K).
-  std::size_t num_nodes = 8;
-  // Code length factor: e = ceil(redundancy * (d+1)). The slack buys
-  // the decoding radius floor((e-d-1)/2).
-  double redundancy = 1.5;
-  // Worker threads simulating node parallelism (0 = hardware).
-  unsigned num_threads = 0;
-  // Random-point verification trials per prime (soundness (d/q)^t).
-  std::size_t verification_trials = 2;
-  // Forces the CRT prime count (0 = derive from the answer bound).
-  std::size_t num_primes = 0;
-  u64 seed = 0xCA3E107;
-};
-
-struct NodeStats {
-  std::size_t node_id = 0;
-  std::size_t symbols_computed = 0;
-  double seconds = 0.0;
-};
-
-// Outcome of proof preparation + decode + verify for one prime.
-struct PrimeRunReport {
-  u64 prime = 0;
-  DecodeStatus decode_status = DecodeStatus::kDecodeFailure;
-  bool verified = false;
-  // Symbol positions the decoder corrected.
-  std::vector<std::size_t> corrected_symbols;
-  // Nodes implicated by the error locations (deduplicated) — the
-  // paper's "identify the nodes that did not properly participate".
-  std::vector<std::size_t> implicated_nodes;
-  // Residues of the answers modulo this prime (valid iff decoded).
-  std::vector<u64> answer_residues;
-};
-
-struct RunReport {
-  // True iff every prime decoded and passed verification.
-  bool success = false;
-  // CRT-reconstructed integer answers (valid iff success).
-  std::vector<BigInt> answers;
-  std::vector<PrimeRunReport> per_prime;
-  std::vector<NodeStats> node_stats;  // summed across primes
-  // Proof size in symbols per prime (d+1) — the paper's K measure.
-  std::size_t proof_symbols = 0;
-  // Code length e per prime; total broadcast = e * num_primes symbols.
-  std::size_t code_length = 0;
-  std::size_t num_primes = 0;
-  double wall_seconds = 0.0;
-
-  // Union of implicated nodes across primes.
-  std::vector<std::size_t> implicated_nodes() const;
-};
 
 class Cluster {
  public:
@@ -85,8 +28,9 @@ class Cluster {
 
   const ClusterConfig& config() const noexcept { return config_; }
 
-  // Runs the full Camelot pipeline. If adversary is non-null it
-  // corrupts symbols between preparation and decoding.
+  // Runs the full Camelot pipeline as a one-shot ProofSession. If
+  // adversary is non-null it corrupts symbols between preparation and
+  // decoding.
   RunReport run(const CamelotProblem& problem,
                 const ByzantineAdversary* adversary = nullptr) const;
 

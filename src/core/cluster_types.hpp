@@ -1,0 +1,73 @@
+// Shared configuration and report types of the Round Table pipeline,
+// used by both the staged ProofSession API and the legacy Cluster
+// facade (which is a thin shim over a one-shot session).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/bigint.hpp"
+#include "field/field.hpp"
+#include "field/field_ops.hpp"
+#include "rs/gao.hpp"
+
+namespace camelot {
+
+struct ClusterConfig {
+  // Number of Knights around the table (K).
+  std::size_t num_nodes = 8;
+  // Code length factor: e = ceil(redundancy * (d+1)). The slack buys
+  // the decoding radius floor((e-d-1)/2).
+  double redundancy = 1.5;
+  // Worker threads simulating node parallelism (0 = hardware).
+  unsigned num_threads = 0;
+  // Random-point verification trials per prime (soundness (d/q)^t).
+  std::size_t verification_trials = 2;
+  // Forces the CRT prime count (0 = derive from the answer bound).
+  std::size_t num_primes = 0;
+  // Root seed; every random choice draws from a stream derived as
+  // derive_stream(seed, prime, stage) — see core/rng.hpp.
+  u64 seed = 0xCA3E107;
+  // Arithmetic backend for evaluators and the decode pipeline.
+  FieldBackend backend = FieldBackend::kMontgomery;
+};
+
+struct NodeStats {
+  std::size_t node_id = 0;
+  std::size_t symbols_computed = 0;
+  double seconds = 0.0;
+};
+
+// Outcome of proof preparation + decode + verify for one prime.
+struct PrimeRunReport {
+  u64 prime = 0;
+  DecodeStatus decode_status = DecodeStatus::kDecodeFailure;
+  bool verified = false;
+  // Symbol positions the decoder corrected.
+  std::vector<std::size_t> corrected_symbols;
+  // Nodes implicated by the error locations (deduplicated) — the
+  // paper's "identify the nodes that did not properly participate".
+  std::vector<std::size_t> implicated_nodes;
+  // Residues of the answers modulo this prime (valid iff decoded).
+  std::vector<u64> answer_residues;
+};
+
+struct RunReport {
+  // True iff every prime decoded and passed verification.
+  bool success = false;
+  // CRT-reconstructed integer answers (valid iff success).
+  std::vector<BigInt> answers;
+  std::vector<PrimeRunReport> per_prime;
+  std::vector<NodeStats> node_stats;  // summed across primes
+  // Proof size in symbols per prime (d+1) — the paper's K measure.
+  std::size_t proof_symbols = 0;
+  // Code length e per prime; total broadcast = e * num_primes symbols.
+  std::size_t code_length = 0;
+  std::size_t num_primes = 0;
+  double wall_seconds = 0.0;
+
+  // Union of implicated nodes across primes.
+  std::vector<std::size_t> implicated_nodes() const;
+};
+
+}  // namespace camelot

@@ -15,6 +15,7 @@
 
 #include "field/bigint.hpp"
 #include "field/field.hpp"
+#include "field/field_ops.hpp"
 #include "poly/poly.hpp"
 
 namespace camelot {
@@ -40,9 +41,16 @@ struct ProofSpec {
 // A node's view of the proof polynomial over one prime field: an
 // oracle for P(x0) mod q. Construction may perform the per-node
 // precomputation the paper charges to each node's budget.
+//
+// The constructor takes a FieldOps backend handle; `field_` keeps the
+// canonical-representative view as a by-value member (registers in
+// the hot loops), and `ops()` exposes the shared Montgomery context
+// for evaluators that run domain pipelines (count/*). A bare
+// PrimeField converts implicitly (building a private context) so
+// stand-alone evaluators stay easy to construct in tests.
 class Evaluator {
  public:
-  explicit Evaluator(const PrimeField& f) : field_(f) {}
+  explicit Evaluator(const FieldOps& f) : ops_(f), field_(f.prime()) {}
   virtual ~Evaluator() = default;
 
   Evaluator(const Evaluator&) = delete;
@@ -65,8 +73,10 @@ class Evaluator {
   }
 
   const PrimeField& field() const noexcept { return field_; }
+  const FieldOps& ops() const noexcept { return ops_; }
 
  protected:
+  FieldOps ops_;
   PrimeField field_;
 };
 
@@ -78,9 +88,10 @@ class CamelotProblem {
   virtual std::string name() const = 0;
   virtual ProofSpec spec() const = 0;
 
-  // Builds the per-node evaluation algorithm for prime field f.
+  // Builds the per-node evaluation algorithm for the field backend f
+  // (Montgomery by default; sessions pass cache-shared handles).
   virtual std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const = 0;
+      const FieldOps& f) const = 0;
 
   // Maps a decoded proof (coefficients of P mod q) to the residues of
   // the integer answers modulo q. Must return spec().answer_count

@@ -1,0 +1,122 @@
+#include "core/proof_service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "core/proof_session.hpp"
+
+namespace camelot {
+
+ProofService::ProofService(ProofServiceConfig config)
+    : config_(config), cache_(std::make_shared<FieldCache>()) {
+  unsigned n = config_.num_workers != 0
+                   ? config_.num_workers
+                   : std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ProofService::~ProofService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ProofService::worker_loop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+std::shared_ptr<const PrimePlan> ProofService::plan_for(
+    const ProofSpec& spec, const ClusterConfig& config) {
+  // The plan depends on exactly these spec/config fields. Redundancy
+  // is keyed on its exact bit pattern — to_string's fixed six
+  // decimals would alias close-but-distinct values to one plan.
+  std::string key = std::to_string(spec.degree_bound) + '/' +
+                    std::to_string(spec.min_modulus) + '/' +
+                    std::to_string(spec.answer_count) + '/' +
+                    (spec.answers_signed ? 's' : 'u') + '/' +
+                    spec.answer_bound.to_string() + '/' +
+                    std::to_string(std::bit_cast<u64>(config.redundancy)) +
+                    '/' + std::to_string(config.num_primes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++stats_.plan_cache_hits;
+      return it->second;
+    }
+  }
+  auto plan = std::make_shared<const PrimePlan>(
+      plan_primes(spec, config.redundancy, config.num_primes));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = plans_.emplace(std::move(key), plan);
+  if (!inserted) {
+    ++stats_.plan_cache_hits;
+    return it->second;
+  }
+  ++stats_.plan_cache_misses;
+  return plan;
+}
+
+std::future<RunReport> ProofService::submit(
+    std::shared_ptr<const CamelotProblem> problem, ClusterConfig config,
+    std::shared_ptr<const ByzantineAdversary> adversary) {
+  if (problem == nullptr) {
+    throw std::invalid_argument("ProofService::submit: null problem");
+  }
+  if (config.num_threads == 0) {
+    config.num_threads = std::max(1u, config_.threads_per_session);
+  }
+  // Resolve the plan on the submitting thread: cheap on a cache hit,
+  // and it surfaces spec errors to the caller synchronously.
+  auto plan = plan_for(problem->spec(), config);
+
+  auto task = std::make_shared<std::packaged_task<RunReport()>>(
+      [this, problem = std::move(problem), config, plan,
+       adversary = std::move(adversary)]() -> RunReport {
+        ProofSession session(*problem, config, cache_, plan);
+        RunReport report = session.run(adversary.get());
+        // Count before the promise is fulfilled, so a caller that has
+        // get() every future observes stats().completed == submitted.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.completed;
+        }
+        return report;
+      });
+  std::future<RunReport> future = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::runtime_error("ProofService::submit: service is stopping");
+    }
+    queue_.emplace_back([task] { (*task)(); });
+    ++stats_.submitted;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+ProofService::Stats ProofService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace camelot

@@ -1,0 +1,97 @@
+// Concurrent proof-preparation service — the traffic-serving facade.
+//
+// A ProofService owns a pool of worker threads plus the keyed caches
+// that make repeated jobs cheap:
+//
+//   * a FieldCache (MontgomeryField + NTT twiddle tables per prime),
+//     shared by every session the service runs;
+//   * a PrimePlan cache keyed by (proof spec, redundancy, num_primes),
+//     so resubmitted or spec-identical problems skip the prime search.
+//
+// submit() enqueues one problem and returns a std::future<RunReport>;
+// many problems run concurrently, each as a ProofSession on a worker.
+// Sessions default to one evaluation thread each (the pool provides
+// the parallelism); a config with explicit num_threads overrides.
+//
+// Determinism: results depend only on (problem, config), never on
+// worker interleaving, because all per-run randomness is derived from
+// (config.seed, prime, stage) — see core/rng.hpp.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/byzantine.hpp"
+#include "core/cluster_types.hpp"
+#include "core/prime_plan.hpp"
+#include "core/proof_problem.hpp"
+#include "field/field_cache.hpp"
+
+namespace camelot {
+
+struct ProofServiceConfig {
+  // Worker threads (0 = hardware concurrency).
+  unsigned num_workers = 0;
+  // Evaluation threads per session when the submitted ClusterConfig
+  // leaves num_threads at 0 (the pool is the scaling axis).
+  unsigned threads_per_session = 1;
+};
+
+class ProofService {
+ public:
+  explicit ProofService(ProofServiceConfig config = {});
+  // Drains every queued job, then joins the workers.
+  ~ProofService();
+
+  ProofService(const ProofService&) = delete;
+  ProofService& operator=(const ProofService&) = delete;
+
+  // Enqueues one problem. The problem (and adversary, if any) are
+  // held alive by the job via shared_ptr. Throws std::runtime_error
+  // after shutdown began.
+  std::future<RunReport> submit(
+      std::shared_ptr<const CamelotProblem> problem,
+      ClusterConfig config = {},
+      std::shared_ptr<const ByzantineAdversary> adversary = nullptr);
+
+  // The per-prime field cache shared by every session of this service.
+  const std::shared_ptr<FieldCache>& field_cache() const noexcept {
+    return cache_;
+  }
+
+  struct Stats {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t plan_cache_hits = 0;
+    std::size_t plan_cache_misses = 0;
+  };
+  Stats stats() const;
+
+ private:
+  std::shared_ptr<const PrimePlan> plan_for(const ProofSpec& spec,
+                                            const ClusterConfig& config);
+  void worker_loop();
+
+  ProofServiceConfig config_;
+  std::shared_ptr<FieldCache> cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::deque<std::function<void()>> queue_;
+  std::unordered_map<std::string, std::shared_ptr<const PrimePlan>> plans_;
+  Stats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace camelot

@@ -1,0 +1,394 @@
+#include "core/proof_session.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "core/cluster.hpp"
+#include "core/rng.hpp"
+#include "core/verifier.hpp"
+#include "field/crt.hpp"
+
+namespace camelot {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// RAII accumulator: every public stage call adds its elapsed time to
+// the session's wall clock.
+class WallTimer {
+ public:
+  explicit WallTimer(double* total)
+      : total_(total), t0_(std::chrono::steady_clock::now()) {}
+  ~WallTimer() { *total_ += seconds_since(t0_); }
+
+ private:
+  double* total_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
+
+std::vector<u64> LosslessChannel::deliver(std::span<const u64> sent,
+                                          std::span<const std::size_t>,
+                                          std::span<const u64>,
+                                          const PrimeField&, u64) const {
+  return {sent.begin(), sent.end()};
+}
+
+std::vector<u64> AdversarialChannel::deliver(
+    std::span<const u64> sent, std::span<const std::size_t> owners,
+    std::span<const u64> points, const PrimeField& f, u64 stream_seed) const {
+  std::vector<u64> received(sent.begin(), sent.end());
+  adversary_.corrupt(received, owners, points, f, stream_seed);
+  return received;
+}
+
+ProofSession::ProofSession(const CamelotProblem& problem, ClusterConfig config,
+                           std::shared_ptr<FieldCache> cache,
+                           std::shared_ptr<const PrimePlan> plan)
+    : problem_(problem),
+      config_(config),
+      spec_(problem.spec()),
+      cache_(cache != nullptr ? std::move(cache) : FieldCache::global()) {
+  if (config_.num_nodes == 0) {
+    throw std::invalid_argument("ProofSession: need at least one node");
+  }
+  if (config_.redundancy < 1.0) {
+    throw std::invalid_argument("ProofSession: redundancy must be >= 1");
+  }
+  plan_ = plan != nullptr
+              ? std::move(plan)
+              : std::make_shared<const PrimePlan>(plan_primes(
+                    spec_, config_.redundancy, config_.num_primes));
+
+  const std::size_t e = plan_->code_length;
+  owners_.resize(e);
+  for (std::size_t i = 0; i < e; ++i) {
+    owners_[i] = Cluster::symbol_owner(i, e, config_.num_nodes);
+  }
+  node_stats_.resize(config_.num_nodes);
+  for (std::size_t j = 0; j < config_.num_nodes; ++j) {
+    node_stats_[j].node_id = j;
+  }
+
+  primes_.reserve(plan_->primes.size());
+  for (u64 q : plan_->primes) {
+    // Twiddle capacity: tree products peak at ~2e output coefficients.
+    primes_.emplace_back(q, cache_->ops(q, 2 * e, config_.backend));
+  }
+}
+
+ProofSession::PrimeState& ProofSession::state_at(std::size_t prime_index) {
+  if (prime_index >= primes_.size()) {
+    throw std::out_of_range("ProofSession: prime index out of range");
+  }
+  return primes_[prime_index];
+}
+
+const ProofSession::PrimeState& ProofSession::state_at(
+    std::size_t prime_index) const {
+  if (prime_index >= primes_.size()) {
+    throw std::out_of_range("ProofSession: prime index out of range");
+  }
+  return primes_[prime_index];
+}
+
+const ProofSession::PrimeState& ProofSession::state_at_least(
+    std::size_t prime_index, SessionStage min_stage, const char* what) const {
+  const PrimeState& st = state_at(prime_index);
+  if (st.stage < min_stage) {
+    throw std::logic_error(std::string("ProofSession::") + what +
+                           ": prime has not reached the required stage");
+  }
+  return st;
+}
+
+void ProofSession::invalidate_downstream(PrimeState& st,
+                                         SessionStage new_stage) {
+  st.stage = new_stage;
+  if (new_stage < SessionStage::kDecoded) {
+    st.decoded = GaoResult{};
+    st.report.decode_status = DecodeStatus::kDecodeFailure;
+    st.report.corrected_symbols.clear();
+    st.report.implicated_nodes.clear();
+  }
+  if (new_stage < SessionStage::kVerified) st.report.verified = false;
+  if (new_stage < SessionStage::kRecovered) st.report.answer_residues.clear();
+}
+
+// ---- Step 1: proof preparation, in distributed encoded form -------------
+
+void ProofSession::prepare_prime(std::size_t prime_index) {
+  WallTimer wt(&wall_seconds_);
+  PrimeState& st = state_at(prime_index);
+  const std::size_t e = plan_->code_length;
+  const std::size_t k = config_.num_nodes;
+  if (st.code == nullptr) {
+    st.code = std::make_unique<ReedSolomonCode>(st.ops, spec_.degree_bound, e);
+  }
+  std::vector<u64> codeword(e, 0);
+
+  unsigned threads = config_.num_threads != 0
+                         ? config_.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(k));
+
+  std::atomic<std::size_t> next_node{0};
+  std::mutex stats_mutex;
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t j = next_node.fetch_add(1);
+      if (j >= k) break;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto evaluator = problem_.make_evaluator(st.ops);
+      // Node j owns the contiguous chunk [lo, hi) of the codeword
+      // (the closed form of symbol_owner: owner(i) = floor(i*K/e));
+      // issue a single batched call for the whole chunk so the
+      // evaluator can amortize its point-independent work.
+      const std::size_t lo = (j * e + k - 1) / k;
+      const std::size_t hi = std::min(e, ((j + 1) * e + k - 1) / k);
+      const std::size_t count = hi - lo;
+      if (count > 0) {
+        const std::span<const u64> chunk(st.code->points().data() + lo,
+                                         count);
+        const std::vector<u64> values = evaluator->evaluate_points(chunk);
+        std::copy(values.begin(), values.end(), codeword.begin() + lo);
+      }
+      const double secs = seconds_since(t0);
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      node_stats_[j].symbols_computed += count;
+      node_stats_[j].seconds += secs;
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  st.sent = std::move(codeword);
+  st.received.clear();
+  invalidate_downstream(st, SessionStage::kPrepared);
+}
+
+// ---- Broadcast over the (possibly adversarial) channel ------------------
+
+void ProofSession::transport_prime(std::size_t prime_index,
+                                   const SymbolChannel& channel) {
+  WallTimer wt(&wall_seconds_);
+  state_at_least(prime_index, SessionStage::kPrepared, "transport_prime");
+  PrimeState& st = state_at(prime_index);
+  st.received = channel.deliver(
+      st.sent, owners_, st.code->points(), st.ops.prime(),
+      derive_stream(config_.seed, st.prime, PipelineStage::kTransport));
+  if (st.received.size() != st.sent.size()) {
+    throw std::logic_error("SymbolChannel: received length mismatch");
+  }
+  invalidate_downstream(st, SessionStage::kTransported);
+}
+
+// ---- Step 2: error-correction during preparation of the proof -----------
+
+void ProofSession::decode_prime(std::size_t prime_index) {
+  WallTimer wt(&wall_seconds_);
+  state_at_least(prime_index, SessionStage::kTransported, "decode_prime");
+  PrimeState& st = state_at(prime_index);
+  st.decoded = gao_decode(*st.code, st.received);
+  st.report.decode_status = st.decoded.status;
+  st.report.corrected_symbols.clear();
+  st.report.implicated_nodes.clear();
+  if (st.decoded.status == DecodeStatus::kOk) {
+    st.report.corrected_symbols = st.decoded.error_locations;
+    std::set<std::size_t> nodes;
+    for (std::size_t loc : st.decoded.error_locations) {
+      nodes.insert(owners_[loc]);
+    }
+    st.report.implicated_nodes = {nodes.begin(), nodes.end()};
+  }
+  invalidate_downstream(st, SessionStage::kDecoded);
+}
+
+// ---- Step 3: checking the putative proof for correctness ----------------
+
+void ProofSession::verify_prime(std::size_t prime_index) {
+  WallTimer wt(&wall_seconds_);
+  state_at_least(prime_index, SessionStage::kDecoded, "verify_prime");
+  PrimeState& st = state_at(prime_index);
+  st.report.verified = false;
+  if (st.decoded.status == DecodeStatus::kOk) {
+    VerifyResult vr = verify_proof(
+        problem_, st.decoded.message, st.ops, config_.verification_trials,
+        derive_stream(config_.seed, st.prime, PipelineStage::kVerify));
+    st.report.verified = vr.accepted;
+  }
+  st.stage = SessionStage::kVerified;
+  st.report.answer_residues.clear();
+}
+
+// ---- Residue extraction --------------------------------------------------
+
+void ProofSession::recover_prime(std::size_t prime_index) {
+  WallTimer wt(&wall_seconds_);
+  state_at_least(prime_index, SessionStage::kVerified, "recover_prime");
+  PrimeState& st = state_at(prime_index);
+  st.report.answer_residues.clear();
+  if (st.report.verified) {
+    st.report.answer_residues =
+        problem_.recover(st.decoded.message, st.ops.prime());
+    if (st.report.answer_residues.size() != spec_.answer_count) {
+      throw std::logic_error("CamelotProblem::recover: answer count");
+    }
+  }
+  st.stage = SessionStage::kRecovered;
+}
+
+void ProofSession::reset_prime(std::size_t prime_index) {
+  PrimeState& st = state_at(prime_index);
+  st.sent.clear();
+  st.received.clear();
+  invalidate_downstream(st, SessionStage::kCreated);
+}
+
+// ---- Whole-session stages ------------------------------------------------
+
+ProofSession& ProofSession::prepare() {
+  for (std::size_t pi = 0; pi < primes_.size(); ++pi) {
+    if (primes_[pi].stage == SessionStage::kCreated) prepare_prime(pi);
+  }
+  return *this;
+}
+
+ProofSession& ProofSession::transport(const SymbolChannel& channel) {
+  for (std::size_t pi = 0; pi < primes_.size(); ++pi) {
+    if (primes_[pi].stage == SessionStage::kPrepared) {
+      transport_prime(pi, channel);
+    }
+  }
+  return *this;
+}
+
+ProofSession& ProofSession::transport(const ByzantineAdversary* adversary) {
+  if (adversary != nullptr) {
+    return transport(AdversarialChannel(*adversary));
+  }
+  return transport(LosslessChannel());
+}
+
+ProofSession& ProofSession::decode() {
+  for (std::size_t pi = 0; pi < primes_.size(); ++pi) {
+    if (primes_[pi].stage == SessionStage::kTransported) decode_prime(pi);
+  }
+  return *this;
+}
+
+ProofSession& ProofSession::verify() {
+  for (std::size_t pi = 0; pi < primes_.size(); ++pi) {
+    if (primes_[pi].stage == SessionStage::kDecoded) verify_prime(pi);
+  }
+  return *this;
+}
+
+ProofSession& ProofSession::recover() {
+  for (std::size_t pi = 0; pi < primes_.size(); ++pi) {
+    if (primes_[pi].stage == SessionStage::kVerified) recover_prime(pi);
+  }
+  return *this;
+}
+
+RunReport ProofSession::run(const ByzantineAdversary* adversary) {
+  for (std::size_t pi = 0; pi < primes_.size(); ++pi) reset_prime(pi);
+  for (NodeStats& ns : node_stats_) {
+    ns.symbols_computed = 0;
+    ns.seconds = 0.0;
+  }
+  wall_seconds_ = 0.0;
+  prepare();
+  transport(adversary);
+  decode();
+  verify();
+  recover();
+  return report();
+}
+
+// ---- Inspection ----------------------------------------------------------
+
+u64 ProofSession::prime(std::size_t prime_index) const {
+  return state_at(prime_index).prime;
+}
+
+SessionStage ProofSession::stage(std::size_t prime_index) const {
+  return state_at(prime_index).stage;
+}
+
+const std::vector<u64>& ProofSession::sent(std::size_t prime_index) const {
+  return state_at_least(prime_index, SessionStage::kPrepared, "sent").sent;
+}
+
+const std::vector<u64>& ProofSession::received(
+    std::size_t prime_index) const {
+  return state_at_least(prime_index, SessionStage::kTransported, "received")
+      .received;
+}
+
+const PrimeRunReport& ProofSession::prime_report(
+    std::size_t prime_index) const {
+  return state_at(prime_index).report;
+}
+
+std::vector<std::size_t> ProofSession::implicated_nodes() const {
+  std::set<std::size_t> nodes;
+  for (const PrimeState& st : primes_) {
+    nodes.insert(st.report.implicated_nodes.begin(),
+                 st.report.implicated_nodes.end());
+  }
+  return {nodes.begin(), nodes.end()};
+}
+
+bool ProofSession::complete() const {
+  for (const PrimeState& st : primes_) {
+    if (st.stage != SessionStage::kRecovered || !st.report.verified ||
+        st.report.decode_status != DecodeStatus::kOk) {
+      return false;
+    }
+  }
+  return !primes_.empty();
+}
+
+// ---- Reconstruction over the integers (CRT across primes) ---------------
+
+RunReport ProofSession::report() const {
+  RunReport out;
+  out.proof_symbols = spec_.degree_bound + 1;
+  out.code_length = plan_->code_length;
+  out.num_primes = plan_->primes.size();
+  out.node_stats = node_stats_;
+  out.wall_seconds = wall_seconds_;
+  out.per_prime.reserve(primes_.size());
+  for (const PrimeState& st : primes_) out.per_prime.push_back(st.report);
+
+  out.success = complete();
+  if (out.success) {
+    out.answers.reserve(spec_.answer_count);
+    for (std::size_t a = 0; a < spec_.answer_count; ++a) {
+      std::vector<u64> residues(primes_.size());
+      for (std::size_t pi = 0; pi < primes_.size(); ++pi) {
+        residues[pi] = primes_[pi].report.answer_residues[a];
+      }
+      out.answers.push_back(
+          spec_.answers_signed
+              ? crt_reconstruct_signed(residues, plan_->primes)
+              : crt_reconstruct(residues, plan_->primes));
+    }
+  }
+  return out;
+}
+
+}  // namespace camelot

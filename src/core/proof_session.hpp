@@ -1,0 +1,190 @@
+// Staged, resumable Camelot pipeline (paper §1.3, steps 1-3).
+//
+// The paper's protocol is explicitly staged: nodes prepare their
+// symbol chunks, the codeword is broadcast (and possibly corrupted),
+// honest parties decode, spot-check the putative proof, and CRT-
+// reconstruct the integer answers. ProofSession exposes exactly those
+// stages as first-class operations over one problem × one PrimePlan,
+// with independent per-prime state:
+//
+//   ProofSession s(problem, config);
+//   s.prepare();              // step 1: per-node symbol chunks
+//   s.transport(&adversary);  // broadcast bus, adversarial channel
+//   s.decode();               // step 2: Gao decode + node implication
+//   s.verify();               // step 3: random spot checks
+//   s.recover();              // residues per prime
+//   RunReport r = s.report(); // CRT across primes
+//
+// Because each prime carries its own stage cursor, a caller can
+// re-run only a failed prime (re-transport on a clean channel, then
+// decode_prime/verify_prime) instead of repeating the whole job — the
+// Reed--Solomon code and subproduct tree for that prime are already
+// built and stay cached in the session.
+//
+// Field state (Montgomery contexts, NTT twiddle tables) comes from a
+// FieldCache — the process-global one unless the caller injects a
+// specific cache (ProofService injects its own shared instance).
+// All randomness is drawn from derive_stream(config.seed, prime,
+// stage), so results are identical regardless of num_threads.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/byzantine.hpp"
+#include "core/cluster_types.hpp"
+#include "core/prime_plan.hpp"
+#include "core/proof_problem.hpp"
+#include "field/field_cache.hpp"
+#include "rs/gao.hpp"
+
+namespace camelot {
+
+// Per-prime progress through the pipeline.
+enum class SessionStage {
+  kCreated,      // plan chosen, nothing computed yet
+  kPrepared,     // clean codeword (the nodes' honest symbols) ready
+  kTransported,  // received word available (possibly corrupted)
+  kDecoded,      // Gao decode attempted
+  kVerified,     // spot checks done on the decoded proof
+  kRecovered,    // answer residues extracted
+};
+
+// Pluggable broadcast channel: what the honest parties receive when
+// the prepared symbols are broadcast. Implementations must be
+// deterministic functions of their inputs (stream_seed carries the
+// per-(seed, prime, stage) randomness).
+class SymbolChannel {
+ public:
+  virtual ~SymbolChannel() = default;
+
+  // sent[i] was produced by node owners[i] at evaluation point
+  // points[i]; returns the symbols the honest parties receive.
+  virtual std::vector<u64> deliver(std::span<const u64> sent,
+                                   std::span<const std::size_t> owners,
+                                   std::span<const u64> points,
+                                   const PrimeField& f,
+                                   u64 stream_seed) const = 0;
+};
+
+// Faithful broadcast: every symbol arrives unchanged.
+class LosslessChannel final : public SymbolChannel {
+ public:
+  std::vector<u64> deliver(std::span<const u64> sent,
+                           std::span<const std::size_t> owners,
+                           std::span<const u64> points, const PrimeField& f,
+                           u64 stream_seed) const override;
+};
+
+// Broadcast through Morgana: the adversary corrupts the symbols of
+// the nodes it controls. Non-owning — the adversary must outlive the
+// channel.
+class AdversarialChannel final : public SymbolChannel {
+ public:
+  explicit AdversarialChannel(const ByzantineAdversary& adversary)
+      : adversary_(adversary) {}
+
+  std::vector<u64> deliver(std::span<const u64> sent,
+                           std::span<const std::size_t> owners,
+                           std::span<const u64> points, const PrimeField& f,
+                           u64 stream_seed) const override;
+
+ private:
+  const ByzantineAdversary& adversary_;
+};
+
+class ProofSession {
+ public:
+  // The problem must outlive the session. `cache` defaults to
+  // FieldCache::global(); `plan` lets a ProofService inject a cached
+  // PrimePlan (nullptr recomputes it from the spec).
+  ProofSession(const CamelotProblem& problem, ClusterConfig config,
+               std::shared_ptr<FieldCache> cache = nullptr,
+               std::shared_ptr<const PrimePlan> plan = nullptr);
+
+  const ClusterConfig& config() const noexcept { return config_; }
+  const PrimePlan& plan() const noexcept { return *plan_; }
+  std::size_t num_primes() const noexcept { return primes_.size(); }
+
+  // ---- Whole-session stages ---------------------------------------------
+  // Each call advances every prime sitting exactly at the preceding
+  // stage and leaves the others untouched, so a selectively re-run
+  // prime is never clobbered by a later whole-session call.
+  ProofSession& prepare();
+  ProofSession& transport(const SymbolChannel& channel);
+  // Convenience: adversarial channel when non-null, lossless otherwise.
+  ProofSession& transport(const ByzantineAdversary* adversary = nullptr);
+  ProofSession& decode();
+  ProofSession& verify();
+  ProofSession& recover();
+
+  // One-shot pipeline; resets any existing per-prime state first.
+  // Equivalent to (and used by) the legacy Cluster::run().
+  RunReport run(const ByzantineAdversary* adversary = nullptr);
+
+  // ---- Per-prime stages (selective re-run) ------------------------------
+  // Preconditions are checked: each stage requires the prime to have
+  // reached at least the preceding stage (std::logic_error otherwise).
+  // Re-running a stage invalidates the stages after it.
+  void prepare_prime(std::size_t prime_index);
+  void transport_prime(std::size_t prime_index, const SymbolChannel& channel);
+  void decode_prime(std::size_t prime_index);
+  void verify_prime(std::size_t prime_index);
+  void recover_prime(std::size_t prime_index);
+  // Back to kCreated (the code/tree stay cached for the re-run).
+  void reset_prime(std::size_t prime_index);
+
+  // ---- Inspection --------------------------------------------------------
+  u64 prime(std::size_t prime_index) const;
+  SessionStage stage(std::size_t prime_index) const;
+  // Clean codeword as computed by the nodes (requires kPrepared).
+  const std::vector<u64>& sent(std::size_t prime_index) const;
+  // Post-transport word (requires kTransported).
+  const std::vector<u64>& received(std::size_t prime_index) const;
+  // Per-prime outcome snapshot (fields are valid up to the stage the
+  // prime has reached).
+  const PrimeRunReport& prime_report(std::size_t prime_index) const;
+  // Union of implicated nodes across decoded primes.
+  std::vector<std::size_t> implicated_nodes() const;
+  // True iff every prime decoded, verified and recovered.
+  bool complete() const;
+
+  // Snapshot of the overall outcome; performs the CRT reconstruction
+  // when every prime has recovered residues.
+  RunReport report() const;
+
+ private:
+  struct PrimeState {
+    u64 prime = 0;
+    SessionStage stage = SessionStage::kCreated;
+    FieldOps ops;
+    std::unique_ptr<ReedSolomonCode> code;  // built on first prepare
+    std::vector<u64> sent;
+    std::vector<u64> received;
+    GaoResult decoded;
+    PrimeRunReport report;
+
+    explicit PrimeState(u64 q, FieldOps o) : prime(q), ops(std::move(o)) {
+      report.prime = q;
+    }
+  };
+
+  PrimeState& state_at(std::size_t prime_index);
+  const PrimeState& state_at(std::size_t prime_index) const;
+  const PrimeState& state_at_least(std::size_t prime_index,
+                                   SessionStage min_stage,
+                                   const char* what) const;
+  void invalidate_downstream(PrimeState& st, SessionStage new_stage);
+
+  const CamelotProblem& problem_;
+  ClusterConfig config_;
+  ProofSpec spec_;
+  std::shared_ptr<FieldCache> cache_;
+  std::shared_ptr<const PrimePlan> plan_;
+  std::vector<std::size_t> owners_;  // symbol index -> owning node
+  std::vector<PrimeState> primes_;
+  std::vector<NodeStats> node_stats_;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace camelot

@@ -1,0 +1,43 @@
+// Deterministic RNG stream derivation for the staged pipeline.
+//
+// Every random choice the framework makes — verification trial points
+// (§1.3 step 3), adversarial corruption on the broadcast bus — draws
+// from a stream derived from (ClusterConfig::seed, prime, stage).
+// Streams never depend on thread identity, scheduling order or the
+// number of workers, so a run is bit-for-bit reproducible regardless
+// of num_threads and of how a ProofService interleaves sessions.
+#pragma once
+
+#include "field/field.hpp"
+
+namespace camelot {
+
+// splitmix64 finalizer: a bijective 64-bit mixer with full avalanche
+// (Stafford's mix13 constants). Good enough to decorrelate the
+// structured inputs below (small seeds, nearby primes, tiny stage ids).
+constexpr u64 splitmix64(u64 x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Pipeline stages of a ProofSession, also used as RNG stream labels.
+enum class PipelineStage : u64 {
+  kPrepare = 1,
+  kTransport = 2,
+  kDecode = 3,
+  kVerify = 4,
+  kRecover = 5,
+};
+
+// Independent 64-bit seed for the (seed, prime, stage) stream. Each
+// input passes through its own splitmix round so that low-entropy
+// combinations (seed=0, consecutive primes) still yield uncorrelated
+// streams.
+constexpr u64 derive_stream(u64 seed, u64 prime, PipelineStage stage) noexcept {
+  return splitmix64(splitmix64(seed ^ splitmix64(prime)) +
+                    static_cast<u64>(stage));
+}
+
+}  // namespace camelot

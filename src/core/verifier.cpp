@@ -26,7 +26,7 @@ VerifyResult verify_proof_with(Evaluator& evaluator, const Poly& proof,
 }
 
 VerifyResult verify_proof(const CamelotProblem& problem, const Poly& proof,
-                          const PrimeField& f, std::size_t trials, u64 seed) {
+                          const FieldOps& f, std::size_t trials, u64 seed) {
   auto evaluator = problem.make_evaluator(f);
   return verify_proof_with(*evaluator, proof, trials, seed);
 }

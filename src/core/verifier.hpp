@@ -22,11 +22,12 @@ struct VerifyResult {
   std::size_t failed_trial = 0;
 };
 
-// Verifies `proof` against the problem over field f. Performs at most
-// `trials` independent random-point checks, stopping at the first
-// mismatch. Cost: `trials` evaluations of P plus Horner evaluations.
+// Verifies `proof` against the problem over the field backend f (a
+// bare PrimeField converts implicitly). Performs at most `trials`
+// independent random-point checks, stopping at the first mismatch.
+// Cost: `trials` evaluations of P plus Horner evaluations.
 VerifyResult verify_proof(const CamelotProblem& problem, const Poly& proof,
-                          const PrimeField& f, std::size_t trials, u64 seed);
+                          const FieldOps& f, std::size_t trials, u64 seed);
 
 // Same, but reuses an existing evaluator (saves per-node setup when
 // the caller already built one).

@@ -11,7 +11,7 @@ namespace {
 
 class Form62Evaluator : public Evaluator {
  public:
-  Form62Evaluator(const PrimeField& f, const Form62Input& input,
+  Form62Evaluator(const FieldOps& f, const Form62Input& input,
                   const TrilinearDecomposition& dec, unsigned t, u64 rank)
       : Evaluator(f),
         input_(input),
@@ -103,7 +103,7 @@ ProofSpec Form62Problem::spec() const {
 }
 
 std::unique_ptr<Evaluator> Form62Problem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<Form62Evaluator>(f, input_, dec_, t_, rank_);
 }
 

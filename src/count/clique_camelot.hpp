@@ -33,7 +33,7 @@ class Form62Problem : public CamelotProblem {
   std::string name() const override { return name_; }
   ProofSpec spec() const override;
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
   std::vector<u64> recover(const Poly& proof,
                            const PrimeField& f) const override;
 
@@ -59,7 +59,7 @@ class CliqueCountProblem : public CamelotProblem {
   std::string name() const override { return "count-k-cliques"; }
   ProofSpec spec() const override { return inner_->spec(); }
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override {
+      const FieldOps& f) const override {
     return inner_->make_evaluator(f);
   }
   std::vector<u64> recover(const Poly& proof,

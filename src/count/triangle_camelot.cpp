@@ -21,20 +21,20 @@ std::vector<u64> transpose_table(const std::vector<u64>& tab, std::size_t nn,
 
 class TriangleEvaluator : public Evaluator {
  public:
-  TriangleEvaluator(const PrimeField& f, const TrilinearDecomposition& dec,
+  TriangleEvaluator(const FieldOps& f, const TrilinearDecomposition& dec,
                     unsigned t, unsigned ell,
                     const std::vector<SparseEntry>& entries)
       : Evaluator(f) {
     const std::size_t nn = dec.n0 * dec.n0;
     ext_a_ = std::make_unique<YatesPolynomialExtension>(
-        f, transpose_table(dec.alpha_mod(f), nn, dec.rank), dec.rank, nn, t,
-        entries, static_cast<int>(ell));
+        f, transpose_table(dec.alpha_mod(f.prime()), nn, dec.rank), dec.rank,
+        nn, t, entries, static_cast<int>(ell));
     ext_b_ = std::make_unique<YatesPolynomialExtension>(
-        f, transpose_table(dec.beta_mod(f), nn, dec.rank), dec.rank, nn, t,
-        entries, static_cast<int>(ell));
+        f, transpose_table(dec.beta_mod(f.prime()), nn, dec.rank), dec.rank,
+        nn, t, entries, static_cast<int>(ell));
     ext_c_ = std::make_unique<YatesPolynomialExtension>(
-        f, transpose_table(dec.gamma_mod(f), nn, dec.rank), dec.rank, nn, t,
-        entries, static_cast<int>(ell));
+        f, transpose_table(dec.gamma_mod(f.prime()), nn, dec.rank), dec.rank,
+        nn, t, entries, static_cast<int>(ell));
   }
 
   u64 eval(u64 z0) override {
@@ -100,7 +100,7 @@ ProofSpec TriangleCountProblem::spec() const {
 }
 
 std::unique_ptr<Evaluator> TriangleCountProblem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<TriangleEvaluator>(f, dec_, t_, ell_, entries_);
 }
 

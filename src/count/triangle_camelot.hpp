@@ -27,7 +27,7 @@ class TriangleCountProblem : public CamelotProblem {
   std::string name() const override { return "count-triangles"; }
   ProofSpec spec() const override;
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
   std::vector<u64> recover(const Poly& proof,
                            const PrimeField& f) const override;
 

@@ -26,7 +26,7 @@ BigInt coloring_bound(std::size_t n) {
 
 class ChromaticEvaluator : public PartitionEvaluatorBase {
  public:
-  ChromaticEvaluator(const PrimeField& f, const ChromaticProblem& p)
+  ChromaticEvaluator(const FieldOps& f, const ChromaticProblem& p)
       : PartitionEvaluatorBase(f, p), g_(p.graph()) {
     const unsigned ne = problem_.n_explicit();
     const unsigned nb = problem_.n_bits();
@@ -116,7 +116,7 @@ ChromaticProblem::ChromaticProblem(const Graph& g)
 }
 
 std::unique_ptr<Evaluator> ChromaticProblem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<ChromaticEvaluator>(f, *this);
 }
 

@@ -18,7 +18,7 @@ class ChromaticProblem : public PartitionTemplateProblem {
   explicit ChromaticProblem(const Graph& g);
 
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
 
   const Graph& graph() const noexcept { return graph_; }
 

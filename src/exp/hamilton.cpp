@@ -38,7 +38,7 @@ namespace {
 
 class HamiltonEvaluator : public Evaluator {
  public:
-  HamiltonEvaluator(const PrimeField& f, const Graph& g, std::size_t h1,
+  HamiltonEvaluator(const FieldOps& f, const Graph& g, std::size_t h1,
                     std::size_t h2)
       : Evaluator(f), g_(g), h1_(h1), h2_(h2) {}
 
@@ -114,7 +114,7 @@ class HamiltonEvaluator : public Evaluator {
 }  // namespace
 
 std::unique_ptr<Evaluator> HamiltonCycleProblem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<HamiltonEvaluator>(f, graph_, h1_, h2_);
 }
 

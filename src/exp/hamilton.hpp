@@ -25,7 +25,7 @@ class HamiltonCycleProblem : public CamelotProblem {
   std::string name() const override { return "hamilton-cycles"; }
   ProofSpec spec() const override;
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
   std::vector<u64> recover(const Poly& proof,
                            const PrimeField& f) const override;
 

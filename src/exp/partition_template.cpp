@@ -73,7 +73,7 @@ std::vector<u64> PartitionTemplateProblem::recover(
 }
 
 PartitionEvaluatorBase::PartitionEvaluatorBase(
-    const PrimeField& f, const PartitionTemplateProblem& problem)
+    const FieldOps& f, const PartitionTemplateProblem& problem)
     : Evaluator(f), problem_(problem) {}
 
 std::vector<u64> PartitionEvaluatorBase::bit_weights(u64 x0) const {

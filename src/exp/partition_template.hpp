@@ -86,7 +86,7 @@ class PartitionEvaluatorBase : public Evaluator {
   u64 eval(u64 x0) final;
 
  protected:
-  PartitionEvaluatorBase(const PrimeField& f,
+  PartitionEvaluatorBase(const FieldOps& f,
                          const PartitionTemplateProblem& problem);
 
   // Called once per evaluation point before any g_table call; compute

@@ -48,7 +48,7 @@ namespace {
 
 class PermanentEvaluator : public Evaluator {
  public:
-  PermanentEvaluator(const PrimeField& f, const IntMatrix& m)
+  PermanentEvaluator(const FieldOps& f, const IntMatrix& m)
       : Evaluator(f), m_(m) {}
 
   u64 eval(u64 x0) override {
@@ -116,7 +116,7 @@ class PermanentEvaluator : public Evaluator {
 }  // namespace
 
 std::unique_ptr<Evaluator> PermanentProblem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<PermanentEvaluator>(f, m_);
 }
 

@@ -31,7 +31,7 @@ class PermanentProblem : public CamelotProblem {
   std::string name() const override { return "permanent"; }
   ProofSpec spec() const override;
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
   std::vector<u64> recover(const Poly& proof,
                            const PrimeField& f) const override;
 

@@ -39,7 +39,7 @@ namespace {
 
 class SetCoverEvaluator : public Evaluator {
  public:
-  SetCoverEvaluator(const PrimeField& f, std::size_t n,
+  SetCoverEvaluator(const FieldOps& f, std::size_t n,
                     const std::vector<u64>& family, u64 t)
       : Evaluator(f), n_(n), h_(n / 2), family_(family), t_(t) {}
 
@@ -99,7 +99,7 @@ class SetCoverEvaluator : public Evaluator {
 }  // namespace
 
 std::unique_ptr<Evaluator> SetCoverProblem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<SetCoverEvaluator>(f, n_, family_, t_);
 }
 

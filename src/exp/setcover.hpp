@@ -22,7 +22,7 @@ class SetCoverProblem : public CamelotProblem {
   std::string name() const override { return "set-covers"; }
   ProofSpec spec() const override;
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
   std::vector<u64> recover(const Poly& proof,
                            const PrimeField& f) const override;
 

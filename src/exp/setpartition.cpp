@@ -14,7 +14,7 @@ unsigned half_bits(std::size_t n) { return static_cast<unsigned>(n / 2); }
 
 class ExactCoverEvaluator : public PartitionEvaluatorBase {
  public:
-  ExactCoverEvaluator(const PrimeField& f, const ExactCoverProblem& p)
+  ExactCoverEvaluator(const FieldOps& f, const ExactCoverProblem& p)
       : PartitionEvaluatorBase(f, p), problem_ref_(p) {}
 
   void prepare(u64 x0) override {
@@ -93,7 +93,7 @@ ExactCoverProblem::ExactCoverProblem(std::size_t n, std::vector<u64> family,
 }
 
 std::unique_ptr<Evaluator> ExactCoverProblem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<ExactCoverEvaluator>(f, *this);
 }
 

@@ -18,7 +18,7 @@ class ExactCoverProblem : public PartitionTemplateProblem {
   ExactCoverProblem(std::size_t n, std::vector<u64> family, u64 t);
 
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
 
   std::size_t ground_size() const noexcept { return n_; }
   const std::vector<u64>& family() const noexcept { return family_; }

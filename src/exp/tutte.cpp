@@ -21,7 +21,7 @@ std::vector<u64> ascending(std::size_t count) {
 
 class TutteEvaluator : public PartitionEvaluatorBase {
  public:
-  TutteEvaluator(const PrimeField& f, const TutteProblem& p)
+  TutteEvaluator(const FieldOps& f, const TutteProblem& p)
       : PartitionEvaluatorBase(f, p), g_(p.graph()) {
     const std::size_t n = g_.num_vertices();
     nb_ = static_cast<unsigned>(n / 3);
@@ -179,7 +179,7 @@ TutteProblem::TutteProblem(const Graph& g)
 }
 
 std::unique_ptr<Evaluator> TutteProblem::make_evaluator(
-    const PrimeField& f) const {
+    const FieldOps& f) const {
   return std::make_unique<TutteEvaluator>(f, *this);
 }
 

@@ -25,7 +25,7 @@ class TutteProblem : public PartitionTemplateProblem {
   explicit TutteProblem(const Graph& g);
 
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override;
+      const FieldOps& f) const override;
 
   const Graph& graph() const noexcept { return graph_; }
   // Answers are Z(t, r) group-major in r: index = (r-1)*(n+1) + (t-1).

@@ -1,0 +1,23 @@
+#include "field/field_ops.hpp"
+
+#include <stdexcept>
+
+#include "poly/ntt.hpp"
+
+namespace camelot {
+
+FieldOps::FieldOps(const PrimeField& f, FieldBackend backend)
+    : mont_(std::make_shared<const MontgomeryField>(f)), backend_(backend) {}
+
+FieldOps::FieldOps(std::shared_ptr<const MontgomeryField> mont,
+                   FieldBackend backend, std::shared_ptr<const NttTables> ntt)
+    : mont_(std::move(mont)), ntt_(std::move(ntt)), backend_(backend) {
+  if (mont_ == nullptr) {
+    throw std::invalid_argument("FieldOps: null Montgomery context");
+  }
+  if (ntt_ != nullptr && ntt_->modulus() != mont_->modulus()) {
+    throw std::invalid_argument("FieldOps: twiddle table modulus mismatch");
+  }
+}
+
+}  // namespace camelot

@@ -1,0 +1,77 @@
+// Type-erased field backend handle — the single seam through which
+// the framework selects its arithmetic backend.
+//
+// PR 1 made every polynomial kernel a template over the backend
+// (PrimeField or MontgomeryField); FieldOps erases that seam at the
+// API layer. A handle carries one shared Montgomery context for a
+// prime (plus optional NTT twiddle tables, see FieldCache), and a
+// FieldBackend tag saying which arithmetic pipeline the decode/verify
+// stages should instantiate. Consumers that used to pick between a
+// plain method and its *_mont twin now take a FieldOps and follow the
+// backend it names; Montgomery is the default everywhere.
+//
+// The handle is a value type (two shared_ptrs + a tag): copy it
+// freely. Hot kernels still copy the underlying MontgomeryField
+// by value into registers exactly as before.
+#pragma once
+
+#include <memory>
+
+#include "field/montgomery.hpp"
+
+namespace camelot {
+
+class NttTables;
+
+enum class FieldBackend {
+  // Montgomery-domain pipeline (two 64x64 multiplies + shift per mul).
+  kMontgomery,
+  // Canonical representatives, hardware-division reduction. Kept for
+  // A/B measurement and as the reference in differential tests.
+  kPrimeDivision,
+};
+
+class FieldOps {
+ public:
+  // Implicit on purpose: legacy call sites pass a bare PrimeField
+  // where a backend handle is expected and get a fresh (default
+  // Montgomery) context. Hot paths should come through a FieldCache
+  // so the context and twiddle tables are shared instead.
+  FieldOps(const PrimeField& f,  // NOLINT(google-explicit-constructor)
+           FieldBackend backend = FieldBackend::kMontgomery);
+
+  FieldOps(std::shared_ptr<const MontgomeryField> mont,
+           FieldBackend backend = FieldBackend::kMontgomery,
+           std::shared_ptr<const NttTables> ntt = nullptr);
+
+  u64 modulus() const noexcept { return mont_->modulus(); }
+  FieldBackend backend() const noexcept { return backend_; }
+
+  // The canonical-representative view (always available).
+  const PrimeField& prime() const noexcept { return mont_->base(); }
+  // The Montgomery-domain view (always available; count/ evaluators
+  // and the default decode pipeline run on it).
+  const MontgomeryField& mont() const noexcept { return *mont_; }
+
+  const std::shared_ptr<const MontgomeryField>& mont_ptr() const noexcept {
+    return mont_;
+  }
+  // Shared twiddle tables for this prime, or nullptr when the handle
+  // was built outside a FieldCache.
+  const std::shared_ptr<const NttTables>& ntt_tables() const noexcept {
+    return ntt_;
+  }
+
+  // Same prime and backend (twiddle tables are an optimization detail
+  // and do not participate in identity).
+  friend bool operator==(const FieldOps& a, const FieldOps& b) noexcept {
+    return a.modulus() == b.modulus() && a.backend_ == b.backend_;
+  }
+
+ private:
+  std::shared_ptr<const MontgomeryField> mont_;
+  std::shared_ptr<const NttTables> ntt_;
+  FieldBackend backend_;
+};
+
+}  // namespace camelot

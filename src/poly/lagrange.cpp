@@ -5,8 +5,8 @@
 namespace camelot {
 
 ConsecutiveLagrange::ConsecutiveLagrange(u64 start, std::size_t count,
-                                         const PrimeField& f)
-    : m_(f), start_(f.reduce(start)), count_(count) {
+                                         const FieldOps& f)
+    : m_(f.mont()), start_(f.prime().reduce(start)), count_(count) {
   if (count == 0) throw std::invalid_argument("lagrange_basis: empty");
   if (count >= f.modulus()) {
     throw std::invalid_argument("lagrange_basis: more nodes than field");

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "field/field_ops.hpp"
 #include "field/montgomery.hpp"
 
 namespace camelot {
@@ -27,8 +28,10 @@ class ConsecutiveLagrange {
  public:
   // Prepares the basis for the nodes start, start+1, ..,
   // start+count-1 (as field elements). Requires 0 < count < q so the
-  // nodes are distinct mod q.
-  ConsecutiveLagrange(u64 start, std::size_t count, const PrimeField& f);
+  // nodes are distinct mod q. Takes the backend handle (a bare
+  // PrimeField converts implicitly); the cache shares the handle's
+  // Montgomery context instead of rebuilding one per evaluator.
+  ConsecutiveLagrange(u64 start, std::size_t count, const FieldOps& f);
 
   std::size_t count() const noexcept { return count_; }
   const MontgomeryField& mont() const noexcept { return m_; }

@@ -5,12 +5,14 @@
 namespace camelot {
 
 SubproductTree::SubproductTree(std::span<const u64> points,
-                               const PrimeField& f)
-    : points_(points.begin(), points.end()), mont_(f) {
+                               const FieldOps& f)
+    : points_(points.begin(), points.end()),
+      mont_(f.mont()),
+      ntt_(f.ntt_tables()) {
   if (points_.empty()) {
     throw std::invalid_argument("SubproductTree: no points");
   }
-  for (u64& x : points_) x = f.reduce(x);
+  for (u64& x : points_) x = f.prime().reduce(x);
   std::vector<Poly> level;
   level.reserve(points_.size());
   for (u64 x : points_) {
@@ -23,7 +25,7 @@ SubproductTree::SubproductTree(std::span<const u64> points,
     next.reserve((prev.size() + 1) / 2);
     for (std::size_t i = 0; i < prev.size(); i += 2) {
       if (i + 1 < prev.size()) {
-        next.push_back(poly_mul(prev[i], prev[i + 1], mont_));
+        next.push_back(mul(prev[i], prev[i + 1]));
       } else {
         next.push_back(prev[i]);  // odd node carried up unchanged
       }
@@ -31,6 +33,18 @@ SubproductTree::SubproductTree(std::span<const u64> points,
     levels_.push_back(std::move(next));
   }
   root_plain_ = Poly{mont_.from_mont_vec(levels_.back()[0].c)};
+}
+
+Poly SubproductTree::mul(const Poly& a, const Poly& b) const {
+  if (!a.is_zero() && !b.is_zero() && ntt_ != nullptr) {
+    const std::size_t out = a.c.size() + b.c.size() - 1;
+    if (out >= poly_detail::kNttThreshold && out <= ntt_->capacity()) {
+      Poly r{ntt_convolve(a.c, b.c, mont_, *ntt_)};
+      r.trim();
+      return r;
+    }
+  }
+  return poly_mul(a, b, mont_);
 }
 
 const Poly& SubproductTree::root_mont() const { return levels_.back()[0]; }
@@ -122,8 +136,8 @@ Poly SubproductTree::interp_rec(std::span<const u64> weighted,
   }
   Poly pl = interp_rec(weighted, level - 1, left, lo, mid);
   Poly pr = interp_rec(weighted, level - 1, right, mid, hi);
-  return poly_add(poly_mul(pl, child_level[right], mont_),
-                  poly_mul(pr, child_level[left], mont_), mont_);
+  return poly_add(mul(pl, child_level[right]), mul(pr, child_level[left]),
+                  mont_);
 }
 
 Poly SubproductTree::interpolate_mont(

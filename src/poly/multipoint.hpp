@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "field/field_ops.hpp"
 #include "field/montgomery.hpp"
 #include "poly/poly.hpp"
 
@@ -26,7 +27,11 @@ namespace camelot {
 // any number of evaluations/interpolations against the same points.
 class SubproductTree {
  public:
-  SubproductTree(std::span<const u64> points, const PrimeField& f);
+  // Takes the field backend handle (a bare PrimeField converts
+  // implicitly). When the handle carries FieldCache twiddle tables,
+  // the tree's large node products run through them instead of
+  // re-powering the NTT stage roots.
+  SubproductTree(std::span<const u64> points, const FieldOps& f);
 
   std::size_t num_points() const noexcept { return points_.size(); }
   const std::vector<u64>& points() const noexcept { return points_; }
@@ -50,11 +55,16 @@ class SubproductTree {
   Poly interpolate_mont(std::span<const u64> values_mont) const;
 
  private:
+  // Product dispatch: cached-twiddle NTT when the tables cover the
+  // result size, the generic poly_mul ladder otherwise.
+  Poly mul(const Poly& a, const Poly& b) const;
+
   // levels_[0] = leaves (x - x_i); levels_.back() = {root}; all
   // coefficients Montgomery-domain.
   std::vector<std::vector<Poly>> levels_;
   std::vector<u64> points_;       // canonical representatives
   MontgomeryField mont_;
+  std::shared_ptr<const NttTables> ntt_;
   Poly root_plain_;
 
   // Tree descent on a raw (Montgomery-domain) remainder vector; the

@@ -1,5 +1,6 @@
 #include "poly/ntt.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace camelot {
@@ -18,6 +19,25 @@ int log2_exact(std::size_t n) {
   return k;
 }
 
+// Validation + bit-reversal permutation shared by both butterfly
+// kernels. Throws before permuting, so a failed call leaves the
+// input untouched.
+void check_size_and_bit_reverse(std::vector<u64>& a, int max_log2) {
+  const std::size_t n = a.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("ntt_inplace: size must be a power of two");
+  }
+  if (log2_exact(n) > max_log2) {
+    throw std::invalid_argument("ntt_inplace: field two-adicity too small");
+  }
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
 // Radix-2 butterfly kernel on Montgomery-domain values.
 void ntt_kernel(std::vector<u64>& a, bool inverse,
                 const MontgomeryField& mref) {
@@ -25,20 +45,7 @@ void ntt_kernel(std::vector<u64>& a, bool inverse,
   // the butterfly stores (a reference could alias the written data).
   const MontgomeryField m = mref;
   const std::size_t n = a.size();
-  if (n == 0 || (n & (n - 1)) != 0) {
-    throw std::invalid_argument("ntt_inplace: size must be a power of two");
-  }
-  const int lg = log2_exact(n);
-  if (lg > m.two_adicity()) {
-    throw std::invalid_argument("ntt_inplace: field two-adicity too small");
-  }
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
+  check_size_and_bit_reverse(a, m.two_adicity());
   for (std::size_t len = 2; len <= n; len <<= 1) {
     u64 wlen = m.root_of_unity(log2_exact(len));
     if (inverse) wlen = m.inv(wlen);
@@ -59,23 +66,91 @@ void ntt_kernel(std::vector<u64>& a, bool inverse,
   }
 }
 
+// Butterfly kernel with strided loads from the precomputed root power
+// table — no loop-carried twiddle multiply chain.
+void ntt_kernel_tabled(std::vector<u64>& a, bool inverse,
+                       const MontgomeryField& mref, const NttTables& tables) {
+  const MontgomeryField m = mref;
+  const std::size_t n = a.size();
+  if (tables.modulus() != m.modulus()) {
+    throw std::invalid_argument("ntt_inplace: twiddle table modulus mismatch");
+  }
+  if (n > tables.capacity()) {
+    throw std::invalid_argument("ntt_inplace: twiddle table too small");
+  }
+  // Capacity is clamped to the field's two-adicity, so n <= capacity
+  // already bounds the transform length.
+  check_size_and_bit_reverse(a, log2_exact(tables.capacity()));
+  const std::span<const u64> tw = inverse ? tables.inverse() : tables.forward();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    // tw[j * stride] = wlen^j for the stage root wlen of order len.
+    const std::size_t stride = tables.capacity() / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const u64 u = a[i + j];
+        const u64 v = m.mul(a[i + j + len / 2], tw[j * stride]);
+        a[i + j] = m.add(u, v);
+        a[i + j + len / 2] = m.sub(u, v);
+      }
+    }
+  }
+  if (inverse) {
+    const u64 n_inv = tables.n_inv(log2_exact(n));
+    for (u64& v : a) v = m.mul(v, n_inv);
+  }
+}
+
 std::vector<u64> convolve_kernel(std::span<const u64> a,
                                  std::span<const u64> b,
-                                 const MontgomeryField& m) {
+                                 const MontgomeryField& m,
+                                 const NttTables* tables) {
   const std::size_t out = a.size() + b.size() - 1;
   const std::size_t n = next_pow2(out);
   std::vector<u64> fa(a.begin(), a.end()), fb(b.begin(), b.end());
   fa.resize(n, 0);
   fb.resize(n, 0);
-  ntt_kernel(fa, false, m);
-  ntt_kernel(fb, false, m);
+  if (tables != nullptr) {
+    ntt_kernel_tabled(fa, false, m, *tables);
+    ntt_kernel_tabled(fb, false, m, *tables);
+  } else {
+    ntt_kernel(fa, false, m);
+    ntt_kernel(fb, false, m);
+  }
   for (std::size_t i = 0; i < n; ++i) fa[i] = m.mul(fa[i], fb[i]);
-  ntt_kernel(fa, true, m);
+  if (tables != nullptr) {
+    ntt_kernel_tabled(fa, true, m, *tables);
+  } else {
+    ntt_kernel(fa, true, m);
+  }
   fa.resize(out);
   return fa;
 }
 
 }  // namespace
+
+NttTables::NttTables(const MontgomeryField& m, std::size_t max_size)
+    : q_(m.modulus()) {
+  const std::size_t limit =
+      m.two_adicity() >= 62 ? (std::size_t{1} << 62)
+                            : (std::size_t{1} << m.two_adicity());
+  capacity_ = std::min(next_pow2(std::max<std::size_t>(max_size, 1)), limit);
+  const int lg = log2_exact(capacity_);
+  n_inv_.resize(static_cast<std::size_t>(lg) + 1);
+  for (int k = 0; k <= lg; ++k) {
+    n_inv_[static_cast<std::size_t>(k)] =
+        m.inv(m.from_u64(u64{1} << k));
+  }
+  if (capacity_ < 2) return;
+  const u64 w = m.root_of_unity(lg);
+  const u64 w_inv = m.inv(w);
+  fwd_.resize(capacity_ / 2);
+  inv_.resize(capacity_ / 2);
+  fwd_[0] = inv_[0] = m.one();
+  for (std::size_t j = 1; j < capacity_ / 2; ++j) {
+    fwd_[j] = m.mul(fwd_[j - 1], w);
+    inv_[j] = m.mul(inv_[j - 1], w_inv);
+  }
+}
 
 bool ntt_supports_size(const PrimeField& f, std::size_t result_size) {
   const std::size_t n = next_pow2(result_size);
@@ -106,12 +181,17 @@ void ntt_inplace(std::vector<u64>& a, bool inverse,
   ntt_kernel(a, inverse, f);
 }
 
+void ntt_inplace(std::vector<u64>& a, bool inverse, const MontgomeryField& f,
+                 const NttTables& tables) {
+  ntt_kernel_tabled(a, inverse, f, tables);
+}
+
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const PrimeField& f) {
   if (a.empty() || b.empty()) return {};
   const MontgomeryField m(f);
   std::vector<u64> fa = m.to_mont_vec(a), fb = m.to_mont_vec(b);
-  std::vector<u64> r = convolve_kernel(fa, fb, m);
+  std::vector<u64> r = convolve_kernel(fa, fb, m, nullptr);
   m.from_mont_inplace(r);
   return r;
 }
@@ -119,7 +199,14 @@ std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const MontgomeryField& f) {
   if (a.empty() || b.empty()) return {};
-  return convolve_kernel(a, b, f);
+  return convolve_kernel(a, b, f, nullptr);
+}
+
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryField& f,
+                              const NttTables& tables) {
+  if (a.empty() || b.empty()) return {};
+  return convolve_kernel(a, b, f, &tables);
 }
 
 }  // namespace camelot

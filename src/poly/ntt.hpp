@@ -24,6 +24,36 @@ namespace camelot {
 bool ntt_supports_size(const PrimeField& f, std::size_t result_size);
 bool ntt_supports_size(const MontgomeryField& f, std::size_t result_size);
 
+// Precomputed twiddle tables for the Montgomery-domain butterfly
+// kernel. The plain kernel powers the stage root serially
+// (w = w * wlen per butterfly — a loop-carried multiply chain); the
+// table variant replaces the chain with strided loads from a root
+// power table computed once per prime. A FieldCache shares one
+// instance per prime across all sessions.
+class NttTables {
+ public:
+  // Builds tables for transforms up to next_pow2(max_size), clamped
+  // to the field's two-adicity limit 2^a.
+  NttTables(const MontgomeryField& m, std::size_t max_size);
+
+  u64 modulus() const noexcept { return q_; }
+  // Largest supported transform length (a power of two, >= 1).
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // forward()[j] = w^j (Montgomery domain) for the primitive root w of
+  // order capacity(); inverse() holds powers of w^{-1}. A transform of
+  // length len < capacity() strides by capacity()/len. Size: cap/2.
+  std::span<const u64> forward() const noexcept { return fwd_; }
+  std::span<const u64> inverse() const noexcept { return inv_; }
+  // 1/2^k in the Montgomery domain, k <= log2(capacity()).
+  u64 n_inv(int k) const noexcept { return n_inv_[static_cast<size_t>(k)]; }
+
+ private:
+  u64 q_ = 0;
+  std::size_t capacity_ = 1;
+  std::vector<u64> fwd_, inv_, n_inv_;
+};
+
 // In-place radix-2 NTT of a power-of-two-sized vector of canonical
 // representatives. If inverse, applies the inverse transform
 // including the 1/n factor.
@@ -33,6 +63,11 @@ void ntt_inplace(std::vector<u64>& a, bool inverse, const PrimeField& f);
 // domain; the result stays in the Montgomery domain.
 void ntt_inplace(std::vector<u64>& a, bool inverse, const MontgomeryField& f);
 
+// Montgomery-domain transform using precomputed twiddles. Requires
+// tables.modulus() == f.modulus() and a.size() <= tables.capacity().
+void ntt_inplace(std::vector<u64>& a, bool inverse, const MontgomeryField& f,
+                 const NttTables& tables);
+
 // Cyclic-free convolution (polynomial product) of two coefficient
 // vectors. Returns a.size()+b.size()-1 coefficients. The PrimeField
 // overload takes and returns canonical representatives; the
@@ -41,5 +76,11 @@ std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const PrimeField& f);
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const MontgomeryField& f);
+
+// Domain-to-domain convolution through the twiddle tables. The result
+// must fit: a.size()+b.size()-1 <= tables.capacity().
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryField& f,
+                              const NttTables& tables);
 
 }  // namespace camelot

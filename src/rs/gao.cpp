@@ -2,45 +2,82 @@
 
 namespace camelot {
 
+namespace {
+
+// The remainder-sequence core, templated over the backend exactly like
+// the poly kernels it drives. g0/g1 and the returned message are in
+// the backend's value domain; the caller handles boundary conversion.
+template <class Field>
+bool gao_core(const Poly& g0, Poly g1, std::size_t e, std::size_t d,
+              const Field& f, Poly* message) {
+  // Stop when deg G < (e + d + 1) / 2.
+  const int stop = static_cast<int>((e + d + 1) / 2);
+  Poly g, u, v;
+  poly_xgcd_partial(g0, g1, stop, f, &g, &u, &v);
+
+  Poly p, r;
+  if (v.is_zero()) return false;
+  poly_divrem(g, v, f, &p, &r);
+  if (!r.is_zero() || p.degree() > static_cast<int>(d)) {
+    return false;  // decoding failure: too many errors
+  }
+  *message = std::move(p);
+  return true;
+}
+
+}  // namespace
+
 GaoResult gao_decode(const ReedSolomonCode& code,
                      std::span<const u64> received) {
   GaoResult out;
-  const PrimeField& f = code.field();
-  const MontgomeryField& m = code.mont();
+  const FieldOps& ops = code.ops();
+  const PrimeField& f = ops.prime();
+  const SubproductTree& tree = code.tree();
   const std::size_t e = code.length();
   const std::size_t d = code.degree_bound();
+  if (received.size() != e) {
+    throw std::invalid_argument("gao_decode: received length mismatch");
+  }
 
-  // The whole remainder sequence runs on Montgomery-domain
-  // polynomials; only the decoded message and corrected codeword are
-  // converted back at the end.
-  const Poly& g0 = code.locator_product_mont();
-  Poly g1 = code.interpolate_received_mont(received);
+  const bool montgomery = ops.backend() == FieldBackend::kMontgomery;
+
+  // Interpolate G1 through the received word, in the backend's domain.
+  Poly g1 = montgomery
+                ? tree.interpolate_mont(ops.mont().to_mont_vec(received))
+                : tree.interpolate(received, f);
 
   // The received word is itself a codeword (in particular the all-zero
   // word, which degenerates the Euclidean remainder sequence).
   if (g1.degree() <= static_cast<int>(d)) {
     out.status = DecodeStatus::kOk;
-    out.message = Poly{m.from_mont_vec(g1.c)};
+    out.message = montgomery ? Poly{ops.mont().from_mont_vec(g1.c)}
+                             : std::move(g1);
     out.corrected.assign(received.begin(), received.end());
     for (u64& v : out.corrected) v = f.reduce(v);
     return out;
   }
 
-  // Stop when deg G < (e + d + 1) / 2.
-  const int stop = static_cast<int>((e + d + 1) / 2);
-  Poly g, u, v;
-  poly_xgcd_partial(g0, g1, stop, m, &g, &u, &v);
-
-  Poly p, r;
-  if (v.is_zero()) return out;
-  poly_divrem(g, v, m, &p, &r);
-  if (!r.is_zero() || p.degree() > static_cast<int>(d)) {
-    return out;  // decoding failure: too many errors
+  // Run the remainder sequence on the selected backend. Both paths
+  // compute identical field values; only the representation (and the
+  // per-multiply cost) differs.
+  Poly message;
+  bool ok;
+  if (montgomery) {
+    ok = gao_core(tree.root_mont(), std::move(g1), e, d, ops.mont(),
+                  &message);
+  } else {
+    ok = gao_core(tree.root(), std::move(g1), e, d, f, &message);
   }
+  if (!ok) return out;
 
   out.status = DecodeStatus::kOk;
-  out.message = Poly{m.from_mont_vec(p.c)};
-  out.corrected = m.from_mont_vec(code.evaluate_at_points_mont(p));
+  if (montgomery) {
+    out.message = Poly{ops.mont().from_mont_vec(message.c)};
+    out.corrected = ops.mont().from_mont_vec(tree.evaluate_mont(message));
+  } else {
+    out.corrected = tree.evaluate(message, f);
+    out.message = std::move(message);
+  }
   for (std::size_t i = 0; i < e; ++i) {
     if (out.corrected[i] != f.reduce(received[i])) {
       out.error_locations.push_back(i);

@@ -18,14 +18,13 @@ std::vector<u64> default_points(std::size_t e, const PrimeField& f) {
 
 }  // namespace
 
-ReedSolomonCode::ReedSolomonCode(const PrimeField& f,
-                                 std::size_t degree_bound, std::size_t length)
-    : ReedSolomonCode(f, degree_bound, default_points(length, f)) {}
+ReedSolomonCode::ReedSolomonCode(const FieldOps& f, std::size_t degree_bound,
+                                 std::size_t length)
+    : ReedSolomonCode(f, degree_bound, default_points(length, f.prime())) {}
 
-ReedSolomonCode::ReedSolomonCode(const PrimeField& f,
-                                 std::size_t degree_bound,
+ReedSolomonCode::ReedSolomonCode(const FieldOps& f, std::size_t degree_bound,
                                  std::vector<u64> points)
-    : field_(f), degree_bound_(degree_bound), points_(std::move(points)) {
+    : ops_(f), degree_bound_(degree_bound), points_(std::move(points)) {
   if (points_.empty()) {
     throw std::invalid_argument("ReedSolomonCode: no points");
   }
@@ -33,19 +32,19 @@ ReedSolomonCode::ReedSolomonCode(const PrimeField& f,
     throw std::invalid_argument(
         "ReedSolomonCode: dimension d+1 exceeds code length e");
   }
-  for (u64& p : points_) p = field_.reduce(p);
-  tree_ = std::make_unique<SubproductTree>(points_, field_);
+  for (u64& p : points_) p = field().reduce(p);
+  tree_ = std::make_unique<SubproductTree>(points_, ops_);
 }
 
 std::vector<u64> ReedSolomonCode::encode(const Poly& message) const {
   if (message.degree() > static_cast<int>(degree_bound_)) {
     throw std::invalid_argument("ReedSolomonCode::encode: degree too high");
   }
-  return tree_->evaluate(message, field_);
+  return tree_->evaluate(message, field());
 }
 
 std::vector<u64> ReedSolomonCode::evaluate_at_points(const Poly& p) const {
-  return tree_->evaluate(p, field_);
+  return tree_->evaluate(p, field());
 }
 
 Poly ReedSolomonCode::interpolate_received(
@@ -53,30 +52,9 @@ Poly ReedSolomonCode::interpolate_received(
   if (received.size() != points_.size()) {
     throw std::invalid_argument("ReedSolomonCode: received length mismatch");
   }
-  return tree_->interpolate(received, field_);
+  return tree_->interpolate(received, field());
 }
 
 const Poly& ReedSolomonCode::locator_product() const { return tree_->root(); }
-
-const MontgomeryField& ReedSolomonCode::mont() const noexcept {
-  return tree_->mont();
-}
-
-Poly ReedSolomonCode::interpolate_received_mont(
-    std::span<const u64> received) const {
-  if (received.size() != points_.size()) {
-    throw std::invalid_argument("ReedSolomonCode: received length mismatch");
-  }
-  return tree_->interpolate_mont(tree_->mont().to_mont_vec(received));
-}
-
-std::vector<u64> ReedSolomonCode::evaluate_at_points_mont(
-    const Poly& p_mont) const {
-  return tree_->evaluate_mont(p_mont);
-}
-
-const Poly& ReedSolomonCode::locator_product_mont() const {
-  return tree_->root_mont();
-}
 
 }  // namespace camelot

@@ -20,18 +20,24 @@ namespace camelot {
 
 // Code of length e and dimension d+1 over Z_q at fixed points.
 // Unique decoding radius: floor((e - d - 1) / 2) symbol errors.
+//
+// The code holds a FieldOps backend handle; the Gao decoder follows
+// the handle's backend (Montgomery domain by default, canonical
+// representatives under FieldBackend::kPrimeDivision). The public
+// encode/evaluate/interpolate surface is canonical-in/canonical-out;
+// domain pipelines go through tree().
 class ReedSolomonCode {
  public:
   // Points default to 1, 2, ..., e (the paper's convention; the value
-  // 0 is excluded so Lagrange/factorial tricks stay uniform).
-  ReedSolomonCode(const PrimeField& f, std::size_t degree_bound,
+  // 0 is excluded so Lagrange/factorial tricks stay uniform). A bare
+  // PrimeField converts implicitly to a default Montgomery handle.
+  ReedSolomonCode(const FieldOps& f, std::size_t degree_bound,
                   std::size_t length);
-  ReedSolomonCode(const PrimeField& f, std::size_t degree_bound,
+  ReedSolomonCode(const FieldOps& f, std::size_t degree_bound,
                   std::vector<u64> points);
 
-  const PrimeField& field() const noexcept { return field_; }
-  // Montgomery context shared with the code's subproduct tree.
-  const MontgomeryField& mont() const noexcept;
+  const FieldOps& ops() const noexcept { return ops_; }
+  const PrimeField& field() const noexcept { return ops_.prime(); }
   std::size_t length() const noexcept { return points_.size(); }
   std::size_t degree_bound() const noexcept { return degree_bound_; }
   const std::vector<u64>& points() const noexcept { return points_; }
@@ -51,14 +57,12 @@ class ReedSolomonCode {
   // Product polynomial G0 = prod_i (x - x_i).
   const Poly& locator_product() const;
 
-  // Montgomery-domain pipeline used by the Gao decoder: canonical
-  // received symbols in, Montgomery-domain polynomial out (and back).
-  Poly interpolate_received_mont(std::span<const u64> received) const;
-  std::vector<u64> evaluate_at_points_mont(const Poly& p_mont) const;
-  const Poly& locator_product_mont() const;
+  // The shared subproduct tree (the domain seam: its *_mont methods
+  // expose the Montgomery pipeline the default decode path runs on).
+  const SubproductTree& tree() const noexcept { return *tree_; }
 
  private:
-  PrimeField field_;
+  FieldOps ops_;
   std::size_t degree_bound_;
   std::vector<u64> points_;
   std::unique_ptr<SubproductTree> tree_;

@@ -7,11 +7,12 @@
 namespace camelot {
 
 YatesPolynomialExtension::YatesPolynomialExtension(
-    const PrimeField& f, std::vector<u64> base, std::size_t t_dim,
+    const FieldOps& f, std::vector<u64> base, std::size_t t_dim,
     std::size_t s_dim, unsigned k, std::vector<SparseEntry> entries,
     int ell_override)
-    : field_(f),
-      mont_(f),
+    : ops_(f),
+      field_(f.prime()),
+      mont_(f.mont()),
       t_dim_(t_dim),
       s_dim_(s_dim),
       k_(k),
@@ -57,7 +58,7 @@ YatesPolynomialExtension::YatesPolynomialExtension(
 
 const ConsecutiveLagrange& YatesPolynomialExtension::lagrange() const {
   if (!lagrange_.has_value()) {
-    lagrange_.emplace(1, static_cast<std::size_t>(num_outer_), field_);
+    lagrange_.emplace(1, static_cast<std::size_t>(num_outer_), ops_);
   }
   return *lagrange_;
 }
@@ -86,14 +87,11 @@ std::vector<u64> YatesPolynomialExtension::evaluate_mont_with_phi(
   return yates_apply(m, base_mont_, t_dim_, s_dim_, x_ell, ell_);
 }
 
-std::vector<u64> YatesPolynomialExtension::evaluate_mont(u64 z0) const {
-  // Phi_i(z0) for the outer domain 1..t^{k-ell} (eq. (6), computed by
-  // the factorial trick in O(t^{k-ell})).
-  return evaluate_mont_with_phi(lagrange().basis_mont(z0));
-}
-
 std::vector<u64> YatesPolynomialExtension::evaluate(u64 z0) const {
-  std::vector<u64> out = evaluate_mont(z0);
+  // Phi_i(z0) for the outer domain 1..t^{k-ell} (eq. (6), computed by
+  // the factorial trick in O(t^{k-ell})), then the domain pipeline
+  // with one boundary conversion on the way out.
+  std::vector<u64> out = evaluate_mont_with_phi(lagrange().basis_mont(z0));
   mont().from_mont_inplace(out);
   return out;
 }

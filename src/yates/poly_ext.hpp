@@ -25,7 +25,11 @@ namespace camelot {
 
 class YatesPolynomialExtension {
  public:
-  YatesPolynomialExtension(const PrimeField& f, std::vector<u64> base,
+  // Takes the field backend handle; the Montgomery context is shared
+  // with the handle (and, through FieldCache, with every other
+  // extension over the same prime). A bare PrimeField converts
+  // implicitly for stand-alone use.
+  YatesPolynomialExtension(const FieldOps& f, std::vector<u64> base,
                            std::size_t t_dim, std::size_t s_dim, unsigned k,
                            std::vector<SparseEntry> entries,
                            int ell_override = -1);
@@ -45,21 +49,20 @@ class YatesPolynomialExtension {
   // worker thread.
   const ConsecutiveLagrange& lagrange() const;
 
-  // Values u_{i_1..i_ell}(z0) for all t^ell inner indices. Runs in
-  // O(|D| + t^{k-ell}) plus the ell-level dense Yates, per §3.3.
+  // Values u_{i_1..i_ell}(z0) for all t^ell inner indices, canonical
+  // representatives. Runs in O(|D| + t^{k-ell}) plus the ell-level
+  // dense Yates, per §3.3.
   std::vector<u64> evaluate(u64 z0) const;
 
-  // Montgomery-domain result; saves the boundary conversion when the
-  // caller combines several extensions (count/triangle_camelot).
-  std::vector<u64> evaluate_mont(u64 z0) const;
-
-  // Same, reusing an already computed Montgomery-domain basis
-  // phi = lagrange().basis_mont(z0). Extensions built from the same
-  // decomposition share phi, so a caller evaluating three of them per
-  // point computes the basis once instead of three times.
+  // The single evaluation pipeline (Montgomery domain in and out),
+  // taking an already computed basis phi = lagrange().basis_mont(z0).
+  // Extensions built from the same decomposition share phi, so a
+  // caller evaluating three of them per point computes the basis once
+  // instead of three times (count/triangle_camelot).
   std::vector<u64> evaluate_mont_with_phi(std::span<const u64> phi) const;
 
  private:
+  FieldOps ops_;
   PrimeField field_;
   MontgomeryField mont_;
   std::vector<u64> base_mont_;        // Montgomery domain

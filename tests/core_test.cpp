@@ -33,10 +33,10 @@ class ToyProblem : public CamelotProblem {
   }
 
   std::unique_ptr<Evaluator> make_evaluator(
-      const PrimeField& f) const override {
+      const FieldOps& f) const override {
     class Ev : public Evaluator {
      public:
-      Ev(const PrimeField& f, const std::vector<u64>& v)
+      Ev(const FieldOps& f, const std::vector<u64>& v)
           : Evaluator(f), v_(v) {}
       u64 eval(u64 x0) override {
         u64 acc = 0;

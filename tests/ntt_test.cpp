@@ -81,6 +81,52 @@ TEST(Ntt, ConvolveEmpty) {
   EXPECT_TRUE(ntt_convolve(a, {}, f).empty());
 }
 
+TEST(NttTablesTest, TabledKernelMatchesPlainKernel) {
+  PrimeField f(7681);
+  MontgomeryField m(f);
+  NttTables tables(m, 512);
+  EXPECT_EQ(tables.capacity(), 512u);
+  std::mt19937_64 rng(7);
+  for (std::size_t n : {1u, 2u, 16u, 128u, 512u}) {
+    std::vector<u64> a(n);
+    for (u64& v : a) v = m.to_mont(rng() % f.modulus());
+    for (bool inverse : {false, true}) {
+      std::vector<u64> plain = a, tabled = a;
+      ntt_inplace(plain, inverse, m);
+      ntt_inplace(tabled, inverse, m, tables);
+      EXPECT_EQ(plain, tabled) << "n=" << n << " inverse=" << inverse;
+    }
+  }
+}
+
+TEST(NttTablesTest, TabledConvolveMatchesPlain) {
+  PrimeField f(7681);
+  MontgomeryField m(f);
+  NttTables tables(m, 512);
+  std::mt19937_64 rng(8);
+  std::vector<u64> a(100), b(57);
+  for (u64& v : a) v = m.to_mont(rng() % f.modulus());
+  for (u64& v : b) v = m.to_mont(rng() % f.modulus());
+  EXPECT_EQ(ntt_convolve(a, b, m), ntt_convolve(a, b, m, tables));
+}
+
+TEST(NttTablesTest, CapacityClampedByTwoAdicity) {
+  PrimeField tiny(17);  // two-adicity 4
+  MontgomeryField m(tiny);
+  NttTables tables(m, 4096);
+  EXPECT_EQ(tables.capacity(), 16u);
+  std::vector<u64> a(32, 1);
+  EXPECT_THROW(ntt_inplace(a, false, m, tables), std::invalid_argument);
+}
+
+TEST(NttTablesTest, RejectsModulusMismatch) {
+  PrimeField f(7681), g(12289);
+  MontgomeryField mf(f), mg(g);
+  NttTables tables(mf, 64);
+  std::vector<u64> a(16, 1);
+  EXPECT_THROW(ntt_inplace(a, false, mg, tables), std::invalid_argument);
+}
+
 TEST(Ntt, LinearityProperty) {
   PrimeField f(7681);
   std::mt19937_64 rng(3);

@@ -1,0 +1,166 @@
+// Tests for the concurrent ProofService facade: several distinct
+// problems in flight at once, shared per-prime field state, prime
+// plan caching, adversarial submissions and shutdown draining.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "apps/conv3sum.hpp"
+#include "apps/csp2.hpp"
+#include "apps/hamming.hpp"
+#include "apps/ov.hpp"
+#include "core/cluster.hpp"
+#include "core/proof_service.hpp"
+#include "linalg/tensor.hpp"
+
+namespace camelot {
+namespace {
+
+std::vector<std::shared_ptr<const CamelotProblem>> four_problems() {
+  std::vector<std::shared_ptr<const CamelotProblem>> out;
+  out.push_back(std::make_shared<OrthogonalVectorsProblem>(
+      BoolMatrix::random(8, 5, 0.35, 11), BoolMatrix::random(8, 5, 0.35, 22)));
+  out.push_back(std::make_shared<HammingDistributionProblem>(
+      BoolMatrix::random(6, 4, 0.4, 33), BoolMatrix::random(6, 4, 0.4, 44)));
+  out.push_back(std::make_shared<Conv3SumProblem>(
+      std::vector<u64>{3, 1, 4, 1, 5, 9, 2, 6}, 6u));
+  out.push_back(std::make_shared<Csp2Problem>(
+      Csp2Instance::random(6, 2, 4, 0.5, 77), strassen_decomposition()));
+  return out;
+}
+
+TEST(ProofService, ServesFourDistinctProblemsConcurrently) {
+  ProofServiceConfig svc;
+  svc.num_workers = 4;  // all four jobs genuinely in flight at once
+  ProofService service(svc);
+
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.redundancy = 1.5;
+
+  auto problems = four_problems();
+  std::vector<std::future<RunReport>> futures;
+  futures.reserve(problems.size());
+  for (const auto& p : problems) futures.push_back(service.submit(p, cfg));
+
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    RunReport report = futures[i].get();
+    ASSERT_TRUE(report.success) << "problem " << i;
+    // Same answers as a stand-alone run of the legacy facade.
+    RunReport solo = Cluster(cfg).run(*problems[i]);
+    ASSERT_EQ(report.answers.size(), solo.answers.size());
+    for (std::size_t a = 0; a < report.answers.size(); ++a) {
+      EXPECT_EQ(report.answers[a], solo.answers[a]);
+    }
+  }
+
+  const ProofService::Stats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  // Per-prime field state was populated in the shared cache.
+  EXPECT_GT(service.field_cache()->stats().mont_misses, 0u);
+}
+
+TEST(ProofService, CachesPlansAndFieldStateAcrossResubmission) {
+  ProofService service({.num_workers = 2});
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+
+  auto problems = four_problems();
+  const auto& p = problems[0];
+  RunReport first = service.submit(p, cfg).get();
+  const ProofService::Stats cold = service.stats();
+  EXPECT_EQ(cold.plan_cache_misses, 1u);
+  const FieldCache::Stats field_cold = service.field_cache()->stats();
+
+  RunReport second = service.submit(p, cfg).get();
+  const ProofService::Stats warm = service.stats();
+  EXPECT_EQ(warm.plan_cache_misses, 1u);
+  EXPECT_GE(warm.plan_cache_hits, 1u);
+  const FieldCache::Stats field_warm = service.field_cache()->stats();
+  EXPECT_EQ(field_warm.mont_misses, field_cold.mont_misses);
+  EXPECT_EQ(field_warm.ntt_misses, field_cold.ntt_misses);
+  EXPECT_GT(field_warm.mont_hits, field_cold.mont_hits);
+
+  ASSERT_TRUE(first.success);
+  ASSERT_TRUE(second.success);
+  ASSERT_EQ(first.answers.size(), second.answers.size());
+  for (std::size_t a = 0; a < first.answers.size(); ++a) {
+    EXPECT_EQ(first.answers[a], second.answers[a]);
+  }
+}
+
+TEST(ProofService, AdversarialSubmission) {
+  ProofService service({.num_workers = 2});
+  ClusterConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.redundancy = 3.0;
+
+  auto problems = four_problems();
+  auto adversary = std::make_shared<const ByzantineAdversary>(
+      std::vector<std::size_t>{3, 7}, ByzantineStrategy::kOffByOne, 99);
+  RunReport report = service.submit(problems[0], cfg, adversary).get();
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.implicated_nodes(), (std::vector<std::size_t>{3, 7}));
+}
+
+TEST(ProofService, ResultsIndependentOfWorkerCount) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  auto problems = four_problems();
+
+  std::vector<RunReport> wide, narrow;
+  {
+    ProofService service({.num_workers = 8});
+    std::vector<std::future<RunReport>> fs;
+    for (const auto& p : problems) fs.push_back(service.submit(p, cfg));
+    for (auto& f : fs) wide.push_back(f.get());
+  }
+  {
+    ProofService service({.num_workers = 1});
+    std::vector<std::future<RunReport>> fs;
+    for (const auto& p : problems) fs.push_back(service.submit(p, cfg));
+    for (auto& f : fs) narrow.push_back(f.get());
+  }
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    ASSERT_EQ(wide[i].success, narrow[i].success);
+    ASSERT_EQ(wide[i].answers.size(), narrow[i].answers.size());
+    for (std::size_t a = 0; a < wide[i].answers.size(); ++a) {
+      EXPECT_EQ(wide[i].answers[a], narrow[i].answers[a]);
+    }
+    for (std::size_t pi = 0; pi < wide[i].per_prime.size(); ++pi) {
+      EXPECT_EQ(wide[i].per_prime[pi].answer_residues,
+                narrow[i].per_prime[pi].answer_residues);
+    }
+  }
+}
+
+TEST(ProofService, DestructorDrainsQueuedJobs) {
+  auto problems = four_problems();
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  std::vector<std::future<RunReport>> futures;
+  {
+    ProofService service({.num_workers = 1});
+    for (int rep = 0; rep < 3; ++rep) {
+      for (const auto& p : problems) {
+        futures.push_back(service.submit(p, cfg));
+      }
+    }
+    // Service goes out of scope with most jobs still queued.
+  }
+  for (auto& f : futures) {
+    RunReport report = f.get();  // never a broken promise
+    EXPECT_TRUE(report.success);
+  }
+}
+
+TEST(ProofService, RejectsNullProblem) {
+  ProofService service({.num_workers = 1});
+  EXPECT_THROW(service.submit(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camelot
