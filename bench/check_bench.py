@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for BENCH_field.json.
+
+Compares every ``*_ns_per_op`` metric of the current benchmark run
+against the committed baseline and fails (exit 1) if any metric
+regressed by more than the allowed fraction (default 25%, matching
+the noise floor of shared CI runners). Benchmarks or metrics present
+on only one side are reported but never fail the gate — e.g. the
+``*_avx2`` entries are absent when the runner lacks AVX2.
+
+Usage:
+    check_bench.py BASELINE CURRENT [--max-regression 0.25]
+                   [--calibrate BENCH.METRIC]
+
+``--calibrate`` rescales every baseline ns/op by the CURRENT/BASELINE
+ratio of one reference metric before comparing, turning the absolute
+check into a machine-relative one. CI passes
+``--calibrate mul.division_ns_per_op``: that metric times a
+division-reduction loop reimplemented locally inside bench_field.cpp
+(frozen seed code, independent of the library), so its drift measures
+the runner's speed and compiler, not the change under test.
+
+Refresh the baseline by committing a new BENCH_field.json produced by
+``bench_field`` (without --quick) on a quiet machine.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_field.json")
+    parser.add_argument("current", help="freshly produced BENCH_field.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown per ns/op metric (default 0.25)",
+    )
+    parser.add_argument(
+        "--calibrate",
+        metavar="BENCH.METRIC",
+        help="rescale the baseline by this reference metric's "
+        "current/baseline ratio (machine-speed normalization)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline).get("benchmarks", {})
+    cur = load(args.current).get("benchmarks", {})
+
+    scale = 1.0
+    if args.calibrate:
+        bench_name, _, metric = args.calibrate.partition(".")
+        try:
+            ref_base = base[bench_name][metric]
+            ref_cur = cur[bench_name][metric]
+        except KeyError:
+            print(
+                f"error: calibration metric {args.calibrate} missing "
+                "from baseline or current run",
+                file=sys.stderr,
+            )
+            return 1
+        scale = ref_cur / ref_base
+        print(
+            f"calibrating baseline by {args.calibrate}: "
+            f"{ref_base:.2f} -> {ref_cur:.2f} ns/op (scale {scale:.3f})"
+        )
+
+    failures = []
+    compared = 0
+    for name in sorted(set(base) | set(cur)):
+        if name not in base or name not in cur:
+            side = "baseline" if name in base else "current"
+            print(f"  [skip] {name}: only present in {side}")
+            continue
+        for key, raw_base in base[name].items():
+            if not key.endswith("_ns_per_op"):
+                continue
+            base_val = raw_base * scale
+            cur_val = cur[name].get(key)
+            if cur_val is None:
+                print(f"  [skip] {name}.{key}: missing in current")
+                continue
+            compared += 1
+            ratio = cur_val / base_val if base_val else float("inf")
+            status = "ok"
+            if ratio > 1.0 + args.max_regression:
+                status = "REGRESSED"
+                failures.append((name, key, base_val, cur_val, ratio))
+            print(
+                f"  [{status:>9}] {name}.{key}: "
+                f"{base_val:.2f} -> {cur_val:.2f} ns/op ({ratio:.2f}x)"
+            )
+
+    if compared == 0:
+        print("error: no comparable ns/op metrics found", file=sys.stderr)
+        return 1
+    if failures:
+        print(
+            f"\n{len(failures)} metric(s) regressed more than "
+            f"{args.max_regression:.0%} vs baseline:",
+            file=sys.stderr,
+        )
+        for name, key, base_val, cur_val, ratio in failures:
+            print(
+                f"  {name}.{key}: {base_val:.2f} -> {cur_val:.2f} ns/op "
+                f"({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\nall {compared} ns/op metrics within "
+          f"{args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

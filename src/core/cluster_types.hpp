@@ -28,8 +28,12 @@ struct ClusterConfig {
   // Root seed; every random choice draws from a stream derived as
   // derive_stream(seed, prime, stage) — see core/rng.hpp.
   u64 seed = 0xCA3E107;
-  // Arithmetic backend for evaluators and the decode pipeline.
-  FieldBackend backend = FieldBackend::kMontgomery;
+  // Arithmetic backend for evaluators and the decode pipeline. The
+  // default asks for the AVX2 Montgomery kernels; FieldOps resolves
+  // the request at runtime and falls back to scalar Montgomery when
+  // the CPU lacks AVX2 or CAMELOT_FORCE_SCALAR is set, so the default
+  // is safe on every host (and bit-identical either way).
+  FieldBackend backend = FieldBackend::kMontgomeryAvx2;
 };
 
 struct NodeStats {

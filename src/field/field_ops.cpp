@@ -1,20 +1,79 @@
 #include "field/field_ops.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "poly/ntt.hpp"
 
 namespace camelot {
 
+namespace {
+
+// Both checks are evaluated once. This translation unit is compiled
+// *without* -mavx2 (only field/montgomery_simd.cpp gets the flag), so
+// the detection code itself runs on any x86-64.
+bool detect_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool detect_runtime_enabled() noexcept {
+  if (!detect_avx2()) return false;
+  const char* force = std::getenv("CAMELOT_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    return false;
+  }
+  return true;
+}
+
+// Downgrades a kMontgomeryAvx2 request when this process cannot honor
+// it (no AVX2 / forced scalar, or q == 2, the identity-domain mode
+// the SIMD kernels do not implement) or when it would not pay: for
+// q >= 2^31 the lane REDC needs 11 vpmuludq per 4 products and
+// roughly ties scalar mulx, while the framework's own CRT primes
+// (chosen just above the code length) always take the 5-vpmuludq
+// narrow path. Resolution happens here, at handle construction, so
+// every consumer can branch on backend() alone.
+FieldBackend resolve(FieldBackend requested, u64 modulus) noexcept {
+  if (requested == FieldBackend::kMontgomeryAvx2 &&
+      (!simd_runtime_enabled() || modulus == 2 || (modulus >> 31) != 0)) {
+    return FieldBackend::kMontgomery;
+  }
+  return requested;
+}
+
+}  // namespace
+
+bool cpu_supports_avx2() noexcept {
+  static const bool has = detect_avx2();
+  return has;
+}
+
+bool simd_runtime_enabled() noexcept {
+  static const bool enabled = detect_runtime_enabled();
+  return enabled;
+}
+
+FieldBackend best_backend() noexcept {
+  return simd_runtime_enabled() ? FieldBackend::kMontgomeryAvx2
+                                : FieldBackend::kMontgomery;
+}
+
 FieldOps::FieldOps(const PrimeField& f, FieldBackend backend)
-    : mont_(std::make_shared<const MontgomeryField>(f)), backend_(backend) {}
+    : mont_(std::make_shared<const MontgomeryField>(f)),
+      backend_(resolve(backend, f.modulus())) {}
 
 FieldOps::FieldOps(std::shared_ptr<const MontgomeryField> mont,
                    FieldBackend backend, std::shared_ptr<const NttTables> ntt)
-    : mont_(std::move(mont)), ntt_(std::move(ntt)), backend_(backend) {
+    : mont_(std::move(mont)), ntt_(std::move(ntt)) {
   if (mont_ == nullptr) {
     throw std::invalid_argument("FieldOps: null Montgomery context");
   }
+  backend_ = resolve(backend, mont_->modulus());
   if (ntt_ != nullptr && ntt_->modulus() != mont_->modulus()) {
     throw std::invalid_argument("FieldOps: twiddle table modulus mismatch");
   }

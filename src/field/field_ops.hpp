@@ -29,7 +29,30 @@ enum class FieldBackend {
   // Canonical representatives, hardware-division reduction. Kept for
   // A/B measurement and as the reference in differential tests.
   kPrimeDivision,
+  // Montgomery-domain pipeline with the hot batch kernels running on
+  // AVX2 4xu64 lanes (field/montgomery_simd.hpp). Values are the same
+  // Montgomery-domain u64s as kMontgomery and every kernel computes
+  // bit-identical results; only the instruction mix differs.
+  // Requesting it constructs a handle that *resolves* at runtime:
+  // without AVX2, with CAMELOT_FORCE_SCALAR set, or for primes where
+  // the lanes cannot beat scalar mulx (q >= 2^31; the framework's CRT
+  // primes sit far below), the handle silently degrades to
+  // kMontgomery, so it is always safe to ask for.
+  kMontgomeryAvx2,
 };
+
+// True iff this process can run the AVX2 kernels: the CPU reports
+// AVX2 *and* the CAMELOT_FORCE_SCALAR environment override is not set
+// (checked once; set it to any non-empty value other than "0" to pin
+// every resolved handle to the scalar pipeline for testing).
+bool simd_runtime_enabled() noexcept;
+
+// Raw CPUID bit, ignoring the environment override.
+bool cpu_supports_avx2() noexcept;
+
+// The fastest backend this process can run: kMontgomeryAvx2 when
+// simd_runtime_enabled(), kMontgomery otherwise.
+FieldBackend best_backend() noexcept;
 
 class FieldOps {
  public:
@@ -45,7 +68,13 @@ class FieldOps {
            std::shared_ptr<const NttTables> ntt = nullptr);
 
   u64 modulus() const noexcept { return mont_->modulus(); }
+  // The *resolved* backend: a kMontgomeryAvx2 request comes back as
+  // kMontgomery when the process cannot run the AVX2 kernels.
   FieldBackend backend() const noexcept { return backend_; }
+  // True iff the hot kernels should run the AVX2 lane-wide pipeline.
+  bool simd() const noexcept {
+    return backend_ == FieldBackend::kMontgomeryAvx2;
+  }
 
   // The canonical-representative view (always available).
   const PrimeField& prime() const noexcept { return mont_->base(); }

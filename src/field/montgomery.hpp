@@ -100,6 +100,13 @@ class MontgomeryField {
     return a.q_ == b.q_;
   }
 
+  // ---- Raw REDC constants (consumed by the SIMD batch kernels) ----------
+  // True for q == 2, where no Montgomery representation exists and the
+  // class runs in identity-domain mode (SIMD kernels fall back to the
+  // scalar methods).
+  bool trivial() const noexcept { return trivial_; }
+  u64 neg_q_inv() const noexcept { return neg_q_inv_; }  // -q^{-1} mod 2^64
+
  private:
   // REDC: t * R^{-1} mod q for t < qR.
   u64 redc(u128 t) const noexcept {

@@ -2,14 +2,27 @@
 
 #include <stdexcept>
 
+#include "field/montgomery_simd.hpp"
+
 namespace camelot {
 
 ConsecutiveLagrange::ConsecutiveLagrange(u64 start, std::size_t count,
                                          const FieldOps& f)
-    : m_(f.mont()), start_(f.prime().reduce(start)), count_(count) {
+    : m_(f.mont()),
+      start_(f.prime().reduce(start)),
+      count_(count),
+      simd_(f.simd()) {
   if (count == 0) throw std::invalid_argument("lagrange_basis: empty");
   if (count >= f.modulus()) {
     throw std::invalid_argument("lagrange_basis: more nodes than field");
+  }
+  if (simd_) {
+    nodes_mont_.resize(count);
+    u64 node = m_.to_mont(start_);
+    for (std::size_t i = 0; i < count; ++i) {
+      nodes_mont_[i] = node;
+      node = m_.add(node, m_.one());
+    }
   }
   // Factorials F_0..F_{count-1} in the Montgomery domain.
   std::vector<u64> fact(count);
@@ -38,6 +51,32 @@ std::vector<u64> ConsecutiveLagrange::basis_mont(u64 x0) const {
   // diff[i] = x0 - node_i in the Montgomery domain; detect x0 hitting
   // a node (zero is zero in either domain).
   std::vector<u64> diff(count_);
+  if (simd_) {
+    const MontgomeryAvx2Field fs(m);
+    fs.sub_from_scalar(x0_m, nodes_mont_.data(), diff.data(), count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (diff[i] == 0) {
+        out[i] = m.one();
+        return out;  // basis collapses to an indicator
+      }
+    }
+    // The prefix/suffix sweeps are loop-carried product chains and
+    // stay scalar; the final per-node basis products run on lanes.
+    std::vector<u64> suffix(count_), prefix(count_);
+    u64 acc = m.one();
+    for (std::size_t i = count_; i-- > 0;) {
+      suffix[i] = acc;
+      acc = m.mul(acc, diff[i]);
+    }
+    acc = m.one();
+    for (std::size_t i = 0; i < count_; ++i) {
+      prefix[i] = acc;
+      acc = m.mul(acc, diff[i]);
+    }
+    fs.mul_vec(prefix.data(), suffix.data(), out.data(), count_);
+    fs.mul_vec(out.data(), inv_w_.data(), out.data(), count_);
+    return out;
+  }
   u64 node = m.to_mont(start_);
   for (std::size_t i = 0; i < count_; ++i) {
     diff[i] = m.sub(x0_m, node);
@@ -77,6 +116,13 @@ u64 ConsecutiveLagrange::eval(std::span<const u64> values, u64 x0) const {
   // mont_mul(bR, v) = b*v with no conversion: the Montgomery factor of
   // the basis cancels against the reduction, so plain values in, plain
   // accumulator out.
+  if (simd_) {
+    std::vector<u64> reduced(count_);
+    for (std::size_t i = 0; i < count_; ++i) reduced[i] = m_.reduce(values[i]);
+    // Mod-q addition is exact, so the lane-reassociated dot matches
+    // the sequential fold bit-for-bit.
+    return MontgomeryAvx2Field(m_).dot(basis.data(), reduced.data(), count_);
+  }
   u64 acc = 0;
   for (std::size_t i = 0; i < count_; ++i) {
     acc = m_.add(acc, m_.mul(basis[i], m_.reduce(values[i])));

@@ -52,9 +52,14 @@ class ConsecutiveLagrange {
   MontgomeryField m_;
   u64 start_;        // canonical representative of the first node
   std::size_t count_;
+  bool simd_;        // resolved AVX2 backend selected
   // Montgomery-domain inverses of the point-independent denominator
   // parts (-1)^{count-1-i} * i! * (count-1-i)!.
   std::vector<u64> inv_w_;
+  // Montgomery form of the nodes start..start+count-1, precomputed
+  // when the AVX2 backend is selected so basis_mont can take the node
+  // differences and the final basis products on 4xu64 lanes.
+  std::vector<u64> nodes_mont_;
 };
 
 // One-shot wrappers (build the cache, query once).

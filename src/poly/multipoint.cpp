@@ -8,7 +8,8 @@ SubproductTree::SubproductTree(std::span<const u64> points,
                                const FieldOps& f)
     : points_(points.begin(), points.end()),
       mont_(f.mont()),
-      ntt_(f.ntt_tables()) {
+      ntt_(f.ntt_tables()),
+      simd_(f.simd()) {
   if (points_.empty()) {
     throw std::invalid_argument("SubproductTree: no points");
   }
@@ -39,12 +40,14 @@ Poly SubproductTree::mul(const Poly& a, const Poly& b) const {
   if (!a.is_zero() && !b.is_zero() && ntt_ != nullptr) {
     const std::size_t out = a.c.size() + b.c.size() - 1;
     if (out >= poly_detail::kNttThreshold && out <= ntt_->capacity()) {
-      Poly r{ntt_convolve(a.c, b.c, mont_, *ntt_)};
+      Poly r{simd_ ? ntt_convolve(a.c, b.c, MontgomeryAvx2Field(mont_), *ntt_)
+                   : ntt_convolve(a.c, b.c, mont_, *ntt_)};
       r.trim();
       return r;
     }
   }
-  return poly_mul(a, b, mont_);
+  return simd_ ? poly_mul(a, b, MontgomeryAvx2Field(mont_))
+               : poly_mul(a, b, mont_);
 }
 
 const Poly& SubproductTree::root_mont() const { return levels_.back()[0]; }
@@ -54,14 +57,28 @@ namespace {
 // In-place remainder modulo a *monic* divisor (every tree node is a
 // product of monic linears). Skips the quotient, the leading-
 // coefficient inversion and all Poly wrapper churn of the generic
-// poly_divrem — this is the hot inner loop of tree descent.
+// poly_divrem — this is the hot inner loop of tree descent. With
+// `simd` the row elimination runs on AVX2 lanes (same multiplication
+// sequence, so the remainder words are bit-identical); rows shorter
+// than two vectors stay on the scalar loop, where call overhead would
+// dominate.
 void monic_rem_inplace(std::vector<u64>& r, const std::vector<u64>& b,
-                       const MontgomeryField& mref) {
+                       const MontgomeryField& mref, bool simd) {
+  const std::size_t db = b.size() - 1;  // deg b; b.back() == one()
+  if (simd && db >= 8) {
+    const MontgomeryAvx2Field f(mref);
+    while (r.size() > db) {
+      const u64 top = r.back();
+      r.pop_back();
+      if (top == 0) continue;
+      f.submul_inplace(r.data() + (r.size() - db), top, b.data(), db);
+    }
+    return;
+  }
   // By-value copy: the stores through r could alias an object behind a
   // reference, which would force the compiler to reload the Montgomery
   // constants every iteration; a local's fields live in registers.
   const MontgomeryField m = mref;
-  const std::size_t db = b.size() - 1;  // deg b; b.back() == one()
   while (r.size() > db) {
     const u64 top = r.back();
     r.pop_back();
@@ -94,16 +111,16 @@ void SubproductTree::eval_rec(std::vector<u64>& r, std::size_t level,
     return;
   }
   std::vector<u64> rl = r;
-  monic_rem_inplace(rl, child_level[left].c, mont_);
+  monic_rem_inplace(rl, child_level[left].c, mont_, simd_);
   eval_rec(rl, level - 1, left, lo, mid, out);
-  monic_rem_inplace(r, child_level[right].c, mont_);
+  monic_rem_inplace(r, child_level[right].c, mont_, simd_);
   eval_rec(r, level - 1, right, mid, hi, out);
 }
 
 std::vector<u64> SubproductTree::evaluate_mont(const Poly& p_mont) const {
   std::vector<u64> out(points_.size(), 0);
   std::vector<u64> r = p_mont.c;
-  monic_rem_inplace(r, root_mont().c, mont_);
+  monic_rem_inplace(r, root_mont().c, mont_, simd_);
   eval_rec(r, levels_.size() - 1, 0, 0, points_.size(), out);
   return out;
 }
@@ -150,8 +167,13 @@ Poly SubproductTree::interpolate_mont(
   std::vector<u64> denom = evaluate_mont(dm);
   std::vector<u64> inv_denom = mont_.batch_inv(denom);
   std::vector<u64> weighted(values_mont.size());
-  for (std::size_t i = 0; i < values_mont.size(); ++i) {
-    weighted[i] = mont_.mul(values_mont[i], inv_denom[i]);
+  if (simd_) {
+    MontgomeryAvx2Field(mont_).mul_vec(values_mont.data(), inv_denom.data(),
+                                       weighted.data(), values_mont.size());
+  } else {
+    for (std::size_t i = 0; i < values_mont.size(); ++i) {
+      weighted[i] = mont_.mul(values_mont[i], inv_denom[i]);
+    }
   }
   Poly p = interp_rec(weighted, levels_.size() - 1, 0, 0, points_.size());
   p.trim();

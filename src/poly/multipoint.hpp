@@ -9,7 +9,9 @@
 // runs every remainder/product on domain values. The classic
 // PrimeField-facing methods convert once per call at the boundary;
 // the *_mont methods expose the domain directly so a longer pipeline
-// (e.g. the Gao decoder) never leaves it.
+// (e.g. the Gao decoder) never leaves it. When the backend handle
+// names the AVX2 backend, the node products and the descent's
+// remainder eliminations run on 4xu64 lanes (bit-identical values).
 #pragma once
 
 #include <memory>
@@ -65,6 +67,7 @@ class SubproductTree {
   std::vector<u64> points_;       // canonical representatives
   MontgomeryField mont_;
   std::shared_ptr<const NttTables> ntt_;
+  bool simd_;                     // resolved AVX2 backend selected
   Poly root_plain_;
 
   // Tree descent on a raw (Montgomery-domain) remainder vector; the

@@ -38,90 +38,91 @@ void check_size_and_bit_reverse(std::vector<u64>& a, int max_log2) {
   }
 }
 
-// Radix-2 butterfly kernel on Montgomery-domain values.
-void ntt_kernel(std::vector<u64>& a, bool inverse,
-                const MontgomeryField& mref) {
+// Radix-2 kernel over either Montgomery backend (tables == nullptr
+// powers each stage's twiddles on the fly). The AVX2 backend routes
+// the butterflies and the final 1/n scaling through its lane-wide
+// kernels; the multiplication sequence — and hence every output
+// word — is identical either way.
+template <class Field>
+void ntt_kernel(std::vector<u64>& a, bool inverse, const Field& fref,
+                const NttTables* tables) {
   // By-value copy keeps the Montgomery constants in registers across
   // the butterfly stores (a reference could alias the written data).
-  const MontgomeryField m = mref;
+  const Field f = fref;
   const std::size_t n = a.size();
-  check_size_and_bit_reverse(a, m.two_adicity());
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    u64 wlen = m.root_of_unity(log2_exact(len));
-    if (inverse) wlen = m.inv(wlen);
-    for (std::size_t i = 0; i < n; i += len) {
-      u64 w = m.one();
-      for (std::size_t j = 0; j < len / 2; ++j) {
-        const u64 u = a[i + j];
-        const u64 v = m.mul(a[i + j + len / 2], w);
-        a[i + j] = m.add(u, v);
-        a[i + j + len / 2] = m.sub(u, v);
-        w = m.mul(w, wlen);
+  if (tables != nullptr) {
+    if (tables->modulus() != f.modulus()) {
+      throw std::invalid_argument(
+          "ntt_inplace: twiddle table modulus mismatch");
+    }
+    if (n > tables->capacity()) {
+      throw std::invalid_argument("ntt_inplace: twiddle table too small");
+    }
+    // Capacity is clamped to the field's two-adicity, so n <= capacity
+    // already bounds the transform length.
+    check_size_and_bit_reverse(a, log2_exact(tables->capacity()));
+  } else {
+    check_size_and_bit_reverse(a, f.two_adicity());
+  }
+  const int lg = log2_exact(n);
+  std::vector<u64> scratch;
+  for (int k = 1; k <= lg; ++k) {
+    const std::size_t len = std::size_t{1} << k;
+    const std::size_t half = len / 2;
+    std::span<const u64> tw;
+    if (tables != nullptr) {
+      tw = inverse ? tables->stage_inverse(k) : tables->stage_forward(k);
+    } else {
+      u64 wlen = f.root_of_unity(k);
+      if (inverse) wlen = f.inv(wlen);
+      scratch.resize(half);
+      scratch[0] = f.one();
+      for (std::size_t j = 1; j < half; ++j) {
+        scratch[j] = f.mul(scratch[j - 1], wlen);
+      }
+      tw = scratch;
+    }
+    if constexpr (FieldHasBatchKernels<Field>) {
+      f.ntt_stage(a.data(), n, len, tw.data());
+    } else {
+      for (std::size_t i = 0; i < n; i += len) {
+        for (std::size_t j = 0; j < half; ++j) {
+          const u64 u = a[i + j];
+          const u64 v = f.mul(a[i + j + half], tw[j]);
+          a[i + j] = f.add(u, v);
+          a[i + j + half] = f.sub(u, v);
+        }
       }
     }
   }
   if (inverse) {
-    const u64 n_inv = m.inv(m.from_u64(n));
-    for (u64& v : a) v = m.mul(v, n_inv);
-  }
-}
-
-// Butterfly kernel with strided loads from the precomputed root power
-// table — no loop-carried twiddle multiply chain.
-void ntt_kernel_tabled(std::vector<u64>& a, bool inverse,
-                       const MontgomeryField& mref, const NttTables& tables) {
-  const MontgomeryField m = mref;
-  const std::size_t n = a.size();
-  if (tables.modulus() != m.modulus()) {
-    throw std::invalid_argument("ntt_inplace: twiddle table modulus mismatch");
-  }
-  if (n > tables.capacity()) {
-    throw std::invalid_argument("ntt_inplace: twiddle table too small");
-  }
-  // Capacity is clamped to the field's two-adicity, so n <= capacity
-  // already bounds the transform length.
-  check_size_and_bit_reverse(a, log2_exact(tables.capacity()));
-  const std::span<const u64> tw = inverse ? tables.inverse() : tables.forward();
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    // tw[j * stride] = wlen^j for the stage root wlen of order len.
-    const std::size_t stride = tables.capacity() / len;
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t j = 0; j < len / 2; ++j) {
-        const u64 u = a[i + j];
-        const u64 v = m.mul(a[i + j + len / 2], tw[j * stride]);
-        a[i + j] = m.add(u, v);
-        a[i + j + len / 2] = m.sub(u, v);
-      }
+    const u64 n_inv =
+        tables != nullptr ? tables->n_inv(lg) : f.inv(f.from_u64(n));
+    if constexpr (FieldHasBatchKernels<Field>) {
+      f.scale_vec(a.data(), n_inv, a.data(), n);
+    } else {
+      for (u64& v : a) v = f.mul(v, n_inv);
     }
   }
-  if (inverse) {
-    const u64 n_inv = tables.n_inv(log2_exact(n));
-    for (u64& v : a) v = m.mul(v, n_inv);
-  }
 }
 
+template <class Field>
 std::vector<u64> convolve_kernel(std::span<const u64> a,
-                                 std::span<const u64> b,
-                                 const MontgomeryField& m,
+                                 std::span<const u64> b, const Field& f,
                                  const NttTables* tables) {
   const std::size_t out = a.size() + b.size() - 1;
   const std::size_t n = next_pow2(out);
   std::vector<u64> fa(a.begin(), a.end()), fb(b.begin(), b.end());
   fa.resize(n, 0);
   fb.resize(n, 0);
-  if (tables != nullptr) {
-    ntt_kernel_tabled(fa, false, m, *tables);
-    ntt_kernel_tabled(fb, false, m, *tables);
+  ntt_kernel(fa, false, f, tables);
+  ntt_kernel(fb, false, f, tables);
+  if constexpr (FieldHasBatchKernels<Field>) {
+    f.mul_vec(fa.data(), fb.data(), fa.data(), n);
   } else {
-    ntt_kernel(fa, false, m);
-    ntt_kernel(fb, false, m);
+    for (std::size_t i = 0; i < n; ++i) fa[i] = f.mul(fa[i], fb[i]);
   }
-  for (std::size_t i = 0; i < n; ++i) fa[i] = m.mul(fa[i], fb[i]);
-  if (tables != nullptr) {
-    ntt_kernel_tabled(fa, true, m, *tables);
-  } else {
-    ntt_kernel(fa, true, m);
-  }
+  ntt_kernel(fa, true, f, tables);
   fa.resize(out);
   return fa;
 }
@@ -143,12 +144,31 @@ NttTables::NttTables(const MontgomeryField& m, std::size_t max_size)
   if (capacity_ < 2) return;
   const u64 w = m.root_of_unity(lg);
   const u64 w_inv = m.inv(w);
-  fwd_.resize(capacity_ / 2);
-  inv_.resize(capacity_ / 2);
-  fwd_[0] = inv_[0] = m.one();
-  for (std::size_t j = 1; j < capacity_ / 2; ++j) {
-    fwd_[j] = m.mul(fwd_[j - 1], w);
-    inv_[j] = m.mul(inv_[j - 1], w_inv);
+  fwd_.resize(capacity_ - 1);
+  inv_.resize(capacity_ - 1);
+  // Top stage (order capacity()): the power chain of w / w^{-1}.
+  {
+    const std::size_t half = capacity_ / 2;
+    u64* top_f = fwd_.data() + (half - 1);
+    u64* top_i = inv_.data() + (half - 1);
+    top_f[0] = top_i[0] = m.one();
+    for (std::size_t j = 1; j < half; ++j) {
+      top_f[j] = m.mul(top_f[j - 1], w);
+      top_i[j] = m.mul(top_i[j - 1], w_inv);
+    }
+  }
+  // Stage k twiddles are every other entry of stage k+1
+  // (w_k = w_{k+1}^2), so the lower stages are strided copies.
+  for (int k = lg - 1; k >= 1; --k) {
+    const std::size_t half = std::size_t{1} << (k - 1);
+    const u64* src_f = fwd_.data() + (2 * half - 1);
+    const u64* src_i = inv_.data() + (2 * half - 1);
+    u64* dst_f = fwd_.data() + (half - 1);
+    u64* dst_i = inv_.data() + (half - 1);
+    for (std::size_t j = 0; j < half; ++j) {
+      dst_f[j] = src_f[2 * j];
+      dst_i[j] = src_i[2 * j];
+    }
   }
 }
 
@@ -158,6 +178,11 @@ bool ntt_supports_size(const PrimeField& f, std::size_t result_size) {
 }
 
 bool ntt_supports_size(const MontgomeryField& f, std::size_t result_size) {
+  return ntt_supports_size(f.base(), result_size);
+}
+
+bool ntt_supports_size(const MontgomeryAvx2Field& f,
+                       std::size_t result_size) {
   return ntt_supports_size(f.base(), result_size);
 }
 
@@ -172,18 +197,28 @@ void ntt_inplace(std::vector<u64>& a, bool inverse, const PrimeField& f) {
   }
   const MontgomeryField m(f);
   m.to_mont_inplace(a);
-  ntt_kernel(a, inverse, m);
+  ntt_kernel(a, inverse, m, nullptr);
   m.from_mont_inplace(a);
 }
 
 void ntt_inplace(std::vector<u64>& a, bool inverse,
                  const MontgomeryField& f) {
-  ntt_kernel(a, inverse, f);
+  ntt_kernel(a, inverse, f, nullptr);
 }
 
 void ntt_inplace(std::vector<u64>& a, bool inverse, const MontgomeryField& f,
                  const NttTables& tables) {
-  ntt_kernel_tabled(a, inverse, f, tables);
+  ntt_kernel(a, inverse, f, &tables);
+}
+
+void ntt_inplace(std::vector<u64>& a, bool inverse,
+                 const MontgomeryAvx2Field& f) {
+  ntt_kernel(a, inverse, f, nullptr);
+}
+
+void ntt_inplace(std::vector<u64>& a, bool inverse,
+                 const MontgomeryAvx2Field& f, const NttTables& tables) {
+  ntt_kernel(a, inverse, f, &tables);
 }
 
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
@@ -191,7 +226,7 @@ std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
   if (a.empty() || b.empty()) return {};
   const MontgomeryField m(f);
   std::vector<u64> fa = m.to_mont_vec(a), fb = m.to_mont_vec(b);
-  std::vector<u64> r = convolve_kernel(fa, fb, m, nullptr);
+  std::vector<u64> r = convolve_kernel<MontgomeryField>(fa, fb, m, nullptr);
   m.from_mont_inplace(r);
   return r;
 }
@@ -203,7 +238,20 @@ std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
 }
 
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryAvx2Field& f) {
+  if (a.empty() || b.empty()) return {};
+  return convolve_kernel(a, b, f, nullptr);
+}
+
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const MontgomeryField& f,
+                              const NttTables& tables) {
+  if (a.empty() || b.empty()) return {};
+  return convolve_kernel(a, b, f, &tables);
+}
+
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryAvx2Field& f,
                               const NttTables& tables) {
   if (a.empty() || b.empty()) return {};
   return convolve_kernel(a, b, f, &tables);

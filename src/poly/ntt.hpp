@@ -16,6 +16,7 @@
 
 #include "field/field.hpp"
 #include "field/montgomery.hpp"
+#include "field/montgomery_simd.hpp"
 
 namespace camelot {
 
@@ -23,13 +24,16 @@ namespace camelot {
 // polynomials with `result_size` output coefficients.
 bool ntt_supports_size(const PrimeField& f, std::size_t result_size);
 bool ntt_supports_size(const MontgomeryField& f, std::size_t result_size);
+bool ntt_supports_size(const MontgomeryAvx2Field& f, std::size_t result_size);
 
 // Precomputed twiddle tables for the Montgomery-domain butterfly
 // kernel. The plain kernel powers the stage root serially
 // (w = w * wlen per butterfly — a loop-carried multiply chain); the
-// table variant replaces the chain with strided loads from a root
-// power table computed once per prime. A FieldCache shares one
-// instance per prime across all sessions.
+// table variant replaces the chain with contiguous loads from
+// per-stage root power tables computed once per prime — the layout
+// both the scalar butterfly and the AVX2 lane kernel consume
+// directly. A FieldCache shares one instance per prime across all
+// sessions.
 class NttTables {
  public:
   // Builds tables for transforms up to next_pow2(max_size), clamped
@@ -40,17 +44,26 @@ class NttTables {
   // Largest supported transform length (a power of two, >= 1).
   std::size_t capacity() const noexcept { return capacity_; }
 
-  // forward()[j] = w^j (Montgomery domain) for the primitive root w of
-  // order capacity(); inverse() holds powers of w^{-1}. A transform of
-  // length len < capacity() strides by capacity()/len. Size: cap/2.
-  std::span<const u64> forward() const noexcept { return fwd_; }
-  std::span<const u64> inverse() const noexcept { return inv_; }
+  // Contiguous twiddles for stage k of a transform: entry j is w_k^j
+  // (Montgomery domain) for the primitive root w_k of order 2^k;
+  // 2^(k-1) entries. Valid for 1 <= k <= log2(capacity()).
+  std::span<const u64> stage_forward(int k) const noexcept {
+    const std::size_t half = std::size_t{1} << (k - 1);
+    return {fwd_.data() + (half - 1), half};
+  }
+  // Same layout for powers of w_k^{-1} (the inverse transform).
+  std::span<const u64> stage_inverse(int k) const noexcept {
+    const std::size_t half = std::size_t{1} << (k - 1);
+    return {inv_.data() + (half - 1), half};
+  }
   // 1/2^k in the Montgomery domain, k <= log2(capacity()).
   u64 n_inv(int k) const noexcept { return n_inv_[static_cast<size_t>(k)]; }
 
  private:
   u64 q_ = 0;
   std::size_t capacity_ = 1;
+  // Per-stage tables, concatenated: stage k occupies
+  // [2^(k-1) - 1, 2^k - 1). Total size capacity() - 1.
   std::vector<u64> fwd_, inv_, n_inv_;
 };
 
@@ -68,6 +81,14 @@ void ntt_inplace(std::vector<u64>& a, bool inverse, const MontgomeryField& f);
 void ntt_inplace(std::vector<u64>& a, bool inverse, const MontgomeryField& f,
                  const NttTables& tables);
 
+// AVX2 lane-wide butterfly kernels (bit-identical to the scalar
+// MontgomeryField overloads; callers reach these through FieldOps
+// backend dispatch).
+void ntt_inplace(std::vector<u64>& a, bool inverse,
+                 const MontgomeryAvx2Field& f);
+void ntt_inplace(std::vector<u64>& a, bool inverse,
+                 const MontgomeryAvx2Field& f, const NttTables& tables);
+
 // Cyclic-free convolution (polynomial product) of two coefficient
 // vectors. Returns a.size()+b.size()-1 coefficients. The PrimeField
 // overload takes and returns canonical representatives; the
@@ -76,11 +97,16 @@ std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const PrimeField& f);
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const MontgomeryField& f);
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryAvx2Field& f);
 
 // Domain-to-domain convolution through the twiddle tables. The result
 // must fit: a.size()+b.size()-1 <= tables.capacity().
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const MontgomeryField& f,
+                              const NttTables& tables);
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryAvx2Field& f,
                               const NttTables& tables);
 
 }  // namespace camelot

@@ -6,11 +6,14 @@
 // the field explicitly.
 //
 // Every kernel is a template over the field backend so the same code
-// runs on canonical representatives (PrimeField) or Montgomery-domain
-// values (MontgomeryField). A Poly does not know which domain its
+// runs on canonical representatives (PrimeField), Montgomery-domain
+// values (MontgomeryField), or the AVX2 lane-wide Montgomery backend
+// (MontgomeryAvx2Field, whose FieldHasBatchKernels hook routes the
+// mul-heavy inner loops below through 4xu64 batch kernels with
+// bit-identical results). A Poly does not know which domain its
 // coefficients live in — the caller pairs coefficients with the
 // backend that produced them, exactly as it already pairs them with a
-// modulus. Explicit instantiations for both backends live in poly.cpp.
+// modulus. Explicit instantiations for all backends live in poly.cpp.
 #pragma once
 
 #include <algorithm>
@@ -20,6 +23,7 @@
 
 #include "field/field.hpp"
 #include "field/montgomery.hpp"
+#include "field/montgomery_simd.hpp"
 #include "poly/ntt.hpp"
 
 namespace camelot {
@@ -90,7 +94,11 @@ Poly poly_scale(const Poly& a, u64 s, const Field& fref) {
   const Field f = fref;
   Poly r = a;
   s = f.reduce(s);
-  for (u64& v : r.c) v = f.mul(v, s);
+  if constexpr (FieldHasBatchKernels<Field>) {
+    f.scale_vec(r.c.data(), s, r.c.data(), r.c.size());
+  } else {
+    for (u64& v : r.c) v = f.mul(v, s);
+  }
   r.trim();
   return r;
 }
@@ -104,8 +112,12 @@ Poly poly_mul_schoolbook(const Poly& a, const Poly& b, const Field& fref) {
   r.c.assign(a.c.size() + b.c.size() - 1, 0);
   for (std::size_t i = 0; i < a.c.size(); ++i) {
     if (a.c[i] == 0) continue;
-    for (std::size_t j = 0; j < b.c.size(); ++j) {
-      r.c[i + j] = f.add(r.c[i + j], f.mul(a.c[i], b.c[j]));
+    if constexpr (FieldHasBatchKernels<Field>) {
+      f.addmul_inplace(r.c.data() + i, a.c[i], b.c.data(), b.c.size());
+    } else {
+      for (std::size_t j = 0; j < b.c.size(); ++j) {
+        r.c[i + j] = f.add(r.c[i + j], f.mul(a.c[i], b.c[j]));
+      }
     }
   }
   r.trim();
@@ -129,8 +141,12 @@ std::vector<u64> kara(std::span<const u64> a, std::span<const u64> b,
     std::vector<u64> r(a.size() + b.size() - 1, 0);
     for (std::size_t i = 0; i < a.size(); ++i) {
       if (a[i] == 0) continue;
-      for (std::size_t j = 0; j < b.size(); ++j) {
-        r[i + j] = f.add(r[i + j], f.mul(a[i], b[j]));
+      if constexpr (FieldHasBatchKernels<Field>) {
+        f.addmul_inplace(r.data() + i, a[i], b.data(), b.size());
+      } else {
+        for (std::size_t j = 0; j < b.size(); ++j) {
+          r[i + j] = f.add(r[i + j], f.mul(a[i], b[j]));
+        }
       }
     }
     return r;
@@ -212,10 +228,15 @@ void poly_divrem(const Poly& a, const Poly& b, const Field& fref, Poly* q,
       if (top == 0) continue;
       const u64 factor = f.mul(top, lead_inv);
       quot.c[static_cast<std::size_t>(i - db)] = factor;
-      for (int j = 0; j <= db; ++j) {
-        auto idx = static_cast<std::size_t>(i - db + j);
-        rem.c[idx] = f.sub(rem.c[idx],
-                           f.mul(factor, b.c[static_cast<std::size_t>(j)]));
+      if constexpr (FieldHasBatchKernels<Field>) {
+        f.submul_inplace(rem.c.data() + (i - db), factor, b.c.data(),
+                         static_cast<std::size_t>(db) + 1);
+      } else {
+        for (int j = 0; j <= db; ++j) {
+          auto idx = static_cast<std::size_t>(i - db + j);
+          rem.c[idx] = f.sub(rem.c[idx],
+                             f.mul(factor, b.c[static_cast<std::size_t>(j)]));
+        }
       }
     }
   }
@@ -312,7 +333,7 @@ Poly poly_derivative(const Poly& p, const Field& f) {
 
 bool poly_equal(const Poly& a, const Poly& b);
 
-// The two supported backends are instantiated once in poly.cpp.
+// The supported backends are instantiated once in poly.cpp.
 #define CAMELOT_POLY_EXTERN(Field)                                          \
   extern template Poly poly_add<Field>(const Poly&, const Poly&,            \
                                        const Field&);                       \
@@ -340,6 +361,7 @@ bool poly_equal(const Poly& a, const Poly& b);
 
 CAMELOT_POLY_EXTERN(PrimeField)
 CAMELOT_POLY_EXTERN(MontgomeryField)
+CAMELOT_POLY_EXTERN(MontgomeryAvx2Field)
 #undef CAMELOT_POLY_EXTERN
 
 }  // namespace camelot

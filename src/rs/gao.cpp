@@ -39,7 +39,10 @@ GaoResult gao_decode(const ReedSolomonCode& code,
     throw std::invalid_argument("gao_decode: received length mismatch");
   }
 
-  const bool montgomery = ops.backend() == FieldBackend::kMontgomery;
+  // Both Montgomery backends share the domain handling; only the
+  // remainder-sequence instantiation differs between them.
+  const FieldBackend backend = ops.backend();
+  const bool montgomery = backend != FieldBackend::kPrimeDivision;
 
   // Interpolate G1 through the received word, in the backend's domain.
   Poly g1 = montgomery
@@ -62,7 +65,10 @@ GaoResult gao_decode(const ReedSolomonCode& code,
   // per-multiply cost) differs.
   Poly message;
   bool ok;
-  if (montgomery) {
+  if (backend == FieldBackend::kMontgomeryAvx2) {
+    ok = gao_core(tree.root_mont(), std::move(g1), e, d,
+                  MontgomeryAvx2Field(ops.mont()), &message);
+  } else if (montgomery) {
     ok = gao_core(tree.root_mont(), std::move(g1), e, d, ops.mont(),
                   &message);
   } else {

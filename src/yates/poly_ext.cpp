@@ -68,9 +68,14 @@ std::vector<u64> YatesPolynomialExtension::evaluate_mont_with_phi(
   const MontgomeryField& m = mont();
   // alpha_j(z0) for every outer digit pattern j in [s^{k-ell}]:
   // a Kronecker-power matrix-vector product with the *transposed*
-  // base, computed by classical Yates (eq. (8)).
+  // base, computed by classical Yates (eq. (8)). The resolved backend
+  // decides whether the push loops run scalar or on AVX2 lanes.
+  const bool simd = ops_.simd();
   std::vector<u64> alpha =
-      yates_apply(m, base_transposed_mont_, s_dim_, t_dim_, phi, k_ - ell_);
+      simd ? yates_apply(MontgomeryAvx2Field(m), base_transposed_mont_,
+                         s_dim_, t_dim_, phi, k_ - ell_)
+           : yates_apply(m, base_transposed_mont_, s_dim_, t_dim_, phi,
+                         k_ - ell_);
 
   // Scatter the sparse input, weighting entry j by alpha_{suffix(j)}.
   const u64 suffix_size = ipow(s_dim_, k_ - ell_);
@@ -84,7 +89,9 @@ std::vector<u64> YatesPolynomialExtension::evaluate_mont_with_phi(
     x_ell[j_prefix] = m.add(x_ell[j_prefix], m.mul(w, entry_values_mont_[n]));
   }
   // Dense Yates over the inner digits.
-  return yates_apply(m, base_mont_, t_dim_, s_dim_, x_ell, ell_);
+  return simd ? yates_apply(MontgomeryAvx2Field(m), base_mont_, t_dim_,
+                            s_dim_, x_ell, ell_)
+              : yates_apply(m, base_mont_, t_dim_, s_dim_, x_ell, ell_);
 }
 
 std::vector<u64> YatesPolynomialExtension::evaluate(u64 z0) const {

@@ -40,12 +40,20 @@ std::vector<u64> yates_apply_impl(const Field& fref,
           const u64* src = cur.data() + (p * s_dim + j) * suffix_count;
           u64* dst = next.data() + (p * t_dim + i) * suffix_count;
           if (w == unit) {
-            for (u64 s = 0; s < suffix_count; ++s) {
-              dst[s] = f.add(dst[s], src[s]);
+            if constexpr (FieldHasBatchKernels<Field>) {
+              f.add_inplace(dst, src, suffix_count);
+            } else {
+              for (u64 s = 0; s < suffix_count; ++s) {
+                dst[s] = f.add(dst[s], src[s]);
+              }
             }
           } else {
-            for (u64 s = 0; s < suffix_count; ++s) {
-              dst[s] = f.add(dst[s], f.mul(w, src[s]));
+            if constexpr (FieldHasBatchKernels<Field>) {
+              f.addmul_inplace(dst, w, src, suffix_count);
+            } else {
+              for (u64 s = 0; s < suffix_count; ++s) {
+                dst[s] = f.add(dst[s], f.mul(w, src[s]));
+              }
             }
           }
         }
@@ -65,6 +73,13 @@ std::vector<u64> yates_apply(const PrimeField& f, std::span<const u64> base,
 }
 
 std::vector<u64> yates_apply(const MontgomeryField& f,
+                             std::span<const u64> base, std::size_t t_dim,
+                             std::size_t s_dim, std::span<const u64> x,
+                             unsigned k) {
+  return yates_apply_impl(f, base, t_dim, s_dim, x, k);
+}
+
+std::vector<u64> yates_apply(const MontgomeryAvx2Field& f,
                              std::span<const u64> base, std::size_t t_dim,
                              std::size_t s_dim, std::span<const u64> x,
                              unsigned k) {

@@ -108,6 +108,26 @@ TEST(CliqueCamelot, EvaluationsAtRankPointsSumToForm) {
   EXPECT_EQ(sum, form62_new_circuit(padded, dec, t, f));
 }
 
+// Reduced-size end-to-end run for the sanitizer job: K6 is the
+// smallest graph with a 6-clique, so the Kronecker power is the
+// minimal t = 3 and the whole pipeline (prepare through CRT
+// reconstruction) finishes in milliseconds even under ASan. CMake
+// registers this suite (minus the K12 brute-force comparison) as
+// `clique_test_small`; CI runs it sanitized instead of excluding
+// clique coverage wholesale.
+TEST(CliqueCamelotSmall, ClusterRunSmallKroneckerPower) {
+  Graph g = complete_graph(6);  // exactly one 6-clique
+  TrilinearDecomposition dec = strassen_decomposition();
+  CliqueCountProblem problem(g, 6, dec);
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.redundancy = 1.5;
+  Cluster cluster(cfg);
+  RunReport report = cluster.run(problem);
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(problem.cliques_from_answer(report.answers[0]).to_u64(), 1u);
+}
+
 TEST(CliqueCamelot, ClusterRunCountsSixCliques) {
   Graph g = planted_clique(8, 0.4, 6, 3);
   const u64 expect = count_k_cliques_brute(g, 6);
