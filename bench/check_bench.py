@@ -1,27 +1,36 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate for BENCH_field.json.
+"""Benchmark regression gate for BENCH_*.json files.
 
-Compares every ``*_ns_per_op`` metric of the current benchmark run
-against the committed baseline and fails (exit 1) if any metric
-regressed by more than the allowed fraction (default 25%, matching
-the noise floor of shared CI runners). Benchmarks or metrics present
-on only one side are reported but never fail the gate — e.g. the
-``*_avx2`` entries are absent when the runner lacks AVX2.
+Compares every gated metric of the current benchmark run against the
+committed baseline and fails (exit 1) if any metric regressed by more
+than the allowed fraction (default 25%, matching the noise floor of
+shared CI runners). Metric direction follows the key suffix:
+
+  * ``*_ns_per_op`` / ``*_ns`` — lower is better (regression = slower)
+  * ``*_per_sec``              — higher is better (regression = fewer)
+
+Other keys (``speedup``, job counts, ...) are informational and never
+gated. Benchmarks or metrics present on only one side are reported but
+never fail the gate — e.g. the ``*_avx2`` entries are absent when the
+runner lacks AVX2.
 
 Usage:
     check_bench.py BASELINE CURRENT [--max-regression 0.25]
                    [--calibrate BENCH.METRIC]
 
-``--calibrate`` rescales every baseline ns/op by the CURRENT/BASELINE
+``--calibrate`` rescales every baseline metric by the CURRENT/BASELINE
 ratio of one reference metric before comparing, turning the absolute
 check into a machine-relative one. CI passes
-``--calibrate mul.division_ns_per_op``: that metric times a
-division-reduction loop reimplemented locally inside bench_field.cpp
-(frozen seed code, independent of the library), so its drift measures
-the runner's speed and compiler, not the change under test.
+``--calibrate mul.division_ns_per_op`` for BENCH_field.json and
+``--calibrate calibration.division_ns_per_op`` for BENCH_service.json:
+both metrics time a division-reduction loop reimplemented locally
+inside the bench binary (frozen seed code, independent of the
+library), so their drift measures the runner's speed and compiler, not
+the change under test. Time-like baselines are multiplied by the
+scale; rate-like (``*_per_sec``) baselines are divided by it.
 
-Refresh the baseline by committing a new BENCH_field.json produced by
-``bench_field`` (without --quick) on a quiet machine.
+Refresh a baseline by committing a new BENCH_*.json produced by the
+corresponding bench binary (without --quick) on a quiet machine.
 """
 
 import argparse
@@ -34,15 +43,24 @@ def load(path):
         return json.load(fh)
 
 
+def direction(key):
+    """'lower', 'higher', or None (ungated) for a metric key."""
+    if key.endswith("_ns_per_op") or key.endswith("_ns"):
+        return "lower"
+    if key.endswith("_per_sec"):
+        return "higher"
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_field.json")
-    parser.add_argument("current", help="freshly produced BENCH_field.json")
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
     parser.add_argument(
         "--max-regression",
         type=float,
         default=0.25,
-        help="allowed fractional slowdown per ns/op metric (default 0.25)",
+        help="allowed fractional regression per metric (default 0.25)",
     )
     parser.add_argument(
         "--calibrate",
@@ -82,26 +100,33 @@ def main():
             print(f"  [skip] {name}: only present in {side}")
             continue
         for key, raw_base in base[name].items():
-            if not key.endswith("_ns_per_op"):
+            sense = direction(key)
+            if sense is None:
                 continue
-            base_val = raw_base * scale
+            # Time-like baselines scale with the machine; rate-like
+            # ones scale inversely.
+            base_val = raw_base * scale if sense == "lower" else raw_base / scale
             cur_val = cur[name].get(key)
             if cur_val is None:
                 print(f"  [skip] {name}.{key}: missing in current")
                 continue
             compared += 1
-            ratio = cur_val / base_val if base_val else float("inf")
+            if sense == "lower":
+                ratio = cur_val / base_val if base_val else float("inf")
+            else:
+                ratio = base_val / cur_val if cur_val else float("inf")
             status = "ok"
             if ratio > 1.0 + args.max_regression:
                 status = "REGRESSED"
                 failures.append((name, key, base_val, cur_val, ratio))
             print(
                 f"  [{status:>9}] {name}.{key}: "
-                f"{base_val:.2f} -> {cur_val:.2f} ns/op ({ratio:.2f}x)"
+                f"{base_val:.2f} -> {cur_val:.2f} ({ratio:.2f}x "
+                f"{'slowdown' if sense == 'lower' else 'rate drop'})"
             )
 
     if compared == 0:
-        print("error: no comparable ns/op metrics found", file=sys.stderr)
+        print("error: no comparable gated metrics found", file=sys.stderr)
         return 1
     if failures:
         print(
@@ -111,12 +136,12 @@ def main():
         )
         for name, key, base_val, cur_val, ratio in failures:
             print(
-                f"  {name}.{key}: {base_val:.2f} -> {cur_val:.2f} ns/op "
+                f"  {name}.{key}: {base_val:.2f} -> {cur_val:.2f} "
                 f"({ratio:.2f}x)",
                 file=sys.stderr,
             )
         return 1
-    print(f"\nall {compared} ns/op metrics within "
+    print(f"\nall {compared} gated metrics within "
           f"{args.max_regression:.0%} of baseline")
     return 0
 

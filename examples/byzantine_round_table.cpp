@@ -1,14 +1,21 @@
 // Morgana's enchantment: two Knights out of twelve are corrupted while
-// the table counts triangles. The honest decode corrects their
-// symbols, names the traitors, and the verified answer is unharmed.
-// A second pass corrupts seven Knights — beyond the decoding radius —
-// and the failure is *detected*, never silently wrong (§1.3). The
-// staged ProofSession then re-runs only the broadcast and decode on a
-// clean channel: the symbols the Knights already computed are reused.
+// the table counts triangles. The broadcast now *streams* — each
+// Knight's symbols enter the channel the moment they are computed,
+// Morgana corrupts them in flight, and every prime decodes as soon as
+// its stream drains. The honest decode corrects the corrupted symbols,
+// names the traitors, and the verified answer is unharmed. A second
+// pass corrupts seven Knights — beyond the decoding radius — and the
+// failure is *detected*, never silently wrong (§1.3). The staged
+// ProofSession then re-runs only the broadcast and decode on a clean
+// (barrier) channel: the symbols the Knights already computed are
+// reused. A final pass squeezes the same streaming broadcast through
+// a rate-limited channel — a congested-clique-style bounded round —
+// and lands on the identical answer.
 #include <cstdio>
 #include <numeric>
 
 #include "core/proof_session.hpp"
+#include "core/symbol_stream.hpp"
 #include "count/triangle_camelot.hpp"
 #include "graph/brute.hpp"
 #include "graph/generators.hpp"
@@ -26,11 +33,12 @@ int main() {
   config.num_nodes = 12;
   config.redundancy = 2.0;  // buys a decoding radius of ~(d+1)/2 symbols
 
-  std::puts("\n-- two corrupted Knights (within the decoding radius) --");
+  std::puts("\n-- two corrupted Knights (within the decoding radius), "
+            "streaming broadcast --");
   ByzantineAdversary two({3, 8}, ByzantineStrategy::kColludingPolynomial,
                          1337);
   ProofSession session(problem, config);
-  RunReport report = session.run(&two);
+  RunReport report = session.run_streaming(AdversarialStreamingChannel(two));
   std::printf("success: %s\n", report.success ? "yes" : "no");
   if (report.success) {
     std::printf("verified triangles: %s\n",
@@ -49,7 +57,7 @@ int main() {
   std::iota(many.begin(), many.end(), std::size_t{0});
   ByzantineAdversary seven(many, ByzantineStrategy::kRandom, 4242);
   ProofSession siege(problem, config);
-  RunReport bad = siege.run(&seven);
+  RunReport bad = siege.run_streaming(AdversarialStreamingChannel(seven));
   std::printf("success: %s (expected: no — the computation failed and "
               "every node can tell)\n",
               bad.success ? "yes" : "no");
@@ -63,7 +71,8 @@ int main() {
 
   std::puts("\n-- staged recovery: re-broadcast on a clean channel --");
   // The Knights' prepared symbols are still in the session; only the
-  // failed stages run again, prime by prime.
+  // failed stages run again, prime by prime, over the barrier-staged
+  // SymbolChannel (the per-prime re-run surface keeps using it).
   for (std::size_t pi = 0; pi < siege.num_primes(); ++pi) {
     siege.transport_prime(pi, LosslessChannel());
     siege.decode_prime(pi);
@@ -79,5 +88,21 @@ int main() {
                         .to_string()
                         .c_str()
                   : "?");
-  return healed.success ? 0 : 1;
+  if (!healed.success) return 1;
+
+  std::puts("\n-- congested round table: at most 16 symbols per round --");
+  // Rate limiting composes with corruption: Morgana's two Knights
+  // corrupt a broadcast that trickles out 16 symbols per poll. Only
+  // the delivery schedule changes — the answer (and the traitor list)
+  // is bit-identical to the unthrottled run.
+  AdversarialStreamingChannel dark(two);
+  RateLimitedStreamingChannel congested(/*symbols_per_poll=*/16, &dark);
+  ProofSession throttled(problem, config);
+  RunReport trickle = throttled.run_streaming(congested);
+  std::printf("success: %s, answers match unthrottled run: %s\n",
+              trickle.success ? "yes" : "no",
+              trickle.success && trickle.answers[0] == report.answers[0]
+                  ? "yes"
+                  : "no");
+  return trickle.success && trickle.answers[0] == report.answers[0] ? 0 : 1;
 }

@@ -22,24 +22,56 @@ bool ByzantineAdversary::controls(std::size_t node) const {
                             node);
 }
 
+void CorruptionPlan::apply(std::span<u64> chunk, std::size_t offset,
+                           const PrimeField& f) const {
+  for (std::size_t j = 0; j < chunk.size(); ++j) {
+    const std::size_t i = offset + j;
+    switch (ops[i]) {
+      case Op::kKeep:
+        break;
+      case Op::kSet:
+        chunk[j] = values[i];
+        break;
+      case Op::kAddOne:
+        chunk[j] = f.add(chunk[j], 1);
+        break;
+    }
+  }
+}
+
 void ByzantineAdversary::corrupt(std::span<u64> codeword,
                                  std::span<const std::size_t> owners,
                                  std::span<const u64> points,
                                  const PrimeField& f) const {
-  corrupt_with_rng_seed(codeword, owners, points, f, seed_);
+  plan_with_rng_seed(owners, points, f, seed_).apply(codeword, 0, f);
 }
 
 void ByzantineAdversary::corrupt(std::span<u64> codeword,
                                  std::span<const std::size_t> owners,
                                  std::span<const u64> points,
                                  const PrimeField& f, u64 stream) const {
-  corrupt_with_rng_seed(codeword, owners, points, f,
-                        splitmix64(seed_ ^ stream));
+  plan_with_rng_seed(owners, points, f, splitmix64(seed_ ^ stream))
+      .apply(codeword, 0, f);
 }
 
-void ByzantineAdversary::corrupt_with_rng_seed(
-    std::span<u64> codeword, std::span<const std::size_t> owners,
-    std::span<const u64> points, const PrimeField& f, u64 rng_seed) const {
+CorruptionPlan ByzantineAdversary::make_plan(
+    std::span<const std::size_t> owners, std::span<const u64> points,
+    const PrimeField& f) const {
+  return plan_with_rng_seed(owners, points, f, seed_);
+}
+
+CorruptionPlan ByzantineAdversary::make_plan(
+    std::span<const std::size_t> owners, std::span<const u64> points,
+    const PrimeField& f, u64 stream) const {
+  return plan_with_rng_seed(owners, points, f, splitmix64(seed_ ^ stream));
+}
+
+CorruptionPlan ByzantineAdversary::plan_with_rng_seed(
+    std::span<const std::size_t> owners, std::span<const u64> points,
+    const PrimeField& f, u64 rng_seed) const {
+  CorruptionPlan plan;
+  plan.ops.assign(owners.size(), CorruptionPlan::Op::kKeep);
+  plan.values.assign(owners.size(), 0);
   std::mt19937_64 rng(rng_seed);
   // Colluding adversary: fixed wrong polynomial of degree 2 shared by
   // all corrupt nodes (coefficients derived from the seed only, so the
@@ -47,25 +79,32 @@ void ByzantineAdversary::corrupt_with_rng_seed(
   const u64 c0 = 1 + rng() % (f.modulus() - 1);
   const u64 c1 = rng() % f.modulus();
   const u64 c2 = rng() % f.modulus();
-  for (std::size_t i = 0; i < codeword.size(); ++i) {
+  // The draw order below scans positions ascending, exactly as the
+  // historical in-place corrupt() did, so plans reproduce its values
+  // bit for bit no matter which chunk order they are later applied in.
+  for (std::size_t i = 0; i < owners.size(); ++i) {
     if (!controls(owners[i])) continue;
     switch (strategy_) {
       case ByzantineStrategy::kSilent:
-        codeword[i] = 0;
+        plan.ops[i] = CorruptionPlan::Op::kSet;
+        plan.values[i] = 0;
         break;
       case ByzantineStrategy::kRandom:
-        codeword[i] = rng() % f.modulus();
+        plan.ops[i] = CorruptionPlan::Op::kSet;
+        plan.values[i] = rng() % f.modulus();
         break;
       case ByzantineStrategy::kOffByOne:
-        codeword[i] = f.add(codeword[i], 1);
+        plan.ops[i] = CorruptionPlan::Op::kAddOne;
         break;
       case ByzantineStrategy::kColludingPolynomial: {
         const u64 x = points[i];
-        codeword[i] = f.add(c0, f.mul(x, f.add(c1, f.mul(x, c2))));
+        plan.ops[i] = CorruptionPlan::Op::kSet;
+        plan.values[i] = f.add(c0, f.mul(x, f.add(c1, f.mul(x, c2))));
         break;
       }
     }
   }
+  return plan;
 }
 
 }  // namespace camelot

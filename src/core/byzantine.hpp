@@ -28,6 +28,27 @@ enum class ByzantineStrategy {
   kColludingPolynomial,
 };
 
+// Positional corruption schedule: the exact per-symbol rewrites one
+// corrupt() call would perform, laid out by codeword index. Because
+// the adversary's RNG draws depend only on (owners, strategy, seed) —
+// never on the honest symbol values — the whole schedule can be fixed
+// before any symbol exists. A streaming transport uses this to
+// corrupt chunks in whatever order nodes finish while remaining
+// bit-identical to the one-shot barrier corruption.
+struct CorruptionPlan {
+  enum class Op : unsigned char {
+    kKeep = 0,    // honest symbol passes through
+    kSet = 1,     // replace with the precomputed value
+    kAddOne = 2,  // off-by-one rewrite of the honest value
+  };
+  std::vector<Op> ops;      // one per codeword position
+  std::vector<u64> values;  // replacement where ops[i] == kSet
+
+  // Rewrites chunk[j] (position offset + j) in place.
+  void apply(std::span<u64> chunk, std::size_t offset,
+             const PrimeField& f) const;
+};
+
 // Deterministic adversary controlling a fixed set of nodes.
 class ByzantineAdversary {
  public:
@@ -54,14 +75,24 @@ class ByzantineAdversary {
                std::span<const u64> points, const PrimeField& f,
                u64 stream) const;
 
+  // Positional schedules equivalent to the corrupt() overloads above:
+  // corrupt(word, ...) == make_plan(...).apply(word, 0, f) for every
+  // word, which is what makes chunk-order-independent streaming
+  // corruption possible.
+  CorruptionPlan make_plan(std::span<const std::size_t> owners,
+                           std::span<const u64> points,
+                           const PrimeField& f) const;
+  CorruptionPlan make_plan(std::span<const std::size_t> owners,
+                           std::span<const u64> points, const PrimeField& f,
+                           u64 stream) const;
+
   // True if `node` is controlled by the adversary.
   bool controls(std::size_t node) const;
 
  private:
-  void corrupt_with_rng_seed(std::span<u64> codeword,
-                             std::span<const std::size_t> owners,
-                             std::span<const u64> points, const PrimeField& f,
-                             u64 rng_seed) const;
+  CorruptionPlan plan_with_rng_seed(std::span<const std::size_t> owners,
+                                    std::span<const u64> points,
+                                    const PrimeField& f, u64 rng_seed) const;
 
   std::vector<std::size_t> corrupt_nodes_;
   ByzantineStrategy strategy_;

@@ -2,12 +2,14 @@
 // jointly preparing a Camelot proof (paper §1.3 steps 1-3).
 //
 // Cluster is the legacy one-shot facade kept source-compatible for
-// existing callers: run() constructs a ProofSession, drives every
-// stage (prepare → transport → decode → verify → recover) and returns
-// the report. New code that wants stage-level control, per-prime
-// re-runs or shared caches should use ProofSession directly; code
-// that wants to serve many problems concurrently should go through
-// ProofService.
+// existing callers: run() constructs a ProofSession and drives the
+// overlapped streaming pipeline (per-node chunks stream into the
+// decoder as they are computed; each prime decodes, verifies and
+// recovers as soon as its broadcast drains) — bit-identical to the
+// historical barrier staging, just without the stage walls. New code
+// that wants stage-level control, per-prime re-runs or shared caches
+// should use ProofSession directly; code that wants to serve many
+// problems concurrently should go through ProofService.
 //
 // Substitution note (see DESIGN.md): the paper's physical network is
 // modelled by an in-process bus (the session's SymbolChannel); the

@@ -56,9 +56,22 @@ struct PrimeRunReport {
   std::vector<u64> answer_residues;
 };
 
+// How a submitted job left the ProofService scheduler. Anything but
+// kOk means the pipeline never completed: the report carries no
+// answers and success is false.
+enum class JobStatus : unsigned char {
+  kOk = 0,
+  // Bounded submit queue was full at submit() time; the job never ran.
+  kRejected,
+  // The job's deadline passed before a worker could finish it.
+  kDeadlineExpired,
+};
+
 struct RunReport {
   // True iff every prime decoded and passed verification.
   bool success = false;
+  // Scheduler outcome (always kOk outside ProofService).
+  JobStatus status = JobStatus::kOk;
   // CRT-reconstructed integer answers (valid iff success).
   std::vector<BigInt> answers;
   std::vector<PrimeRunReport> per_prime;

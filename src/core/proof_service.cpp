@@ -6,11 +6,31 @@
 #include <utility>
 
 #include "core/proof_session.hpp"
+#include "core/symbol_stream.hpp"
 
 namespace camelot {
 
+// One admitted job: the session plus everything the prime-granular
+// tasks share. Tasks hold the job via shared_ptr, so a job lives until
+// its last queued task is gone even after it settled.
+struct ProofService::Job {
+  std::shared_ptr<const CamelotProblem> problem;
+  std::shared_ptr<const ByzantineAdversary> adversary;
+  std::unique_ptr<StreamingSymbolChannel> channel;
+  std::unique_ptr<ProofSession> session;
+  std::promise<RunReport> promise;
+  std::atomic<std::size_t> primes_left{0};
+  // Set exactly once, by whichever task completes the job, expires it,
+  // or (at submit) rejects it; guards the promise.
+  std::atomic<bool> settled{false};
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+};
+
 ProofService::ProofService(ProofServiceConfig config)
-    : config_(config), cache_(std::make_shared<FieldCache>()) {
+    : config_(config),
+      cache_(std::make_shared<FieldCache>()),
+      codes_(std::make_shared<CodeCache>()) {
   unsigned n = config_.num_workers != 0
                    ? config_.num_workers
                    : std::max(1u, std::thread::hardware_concurrency());
@@ -31,15 +51,63 @@ ProofService::~ProofService() {
 
 void ProofService::worker_loop() {
   while (true) {
-    std::function<void()> job;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ && drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ && drained
+      task = tasks_.top();
+      tasks_.pop();
     }
-    job();
+    run_task(task);
+  }
+}
+
+void ProofService::run_task(const Task& task) {
+  Job& job = *task.job;
+  // A settled job's remaining tasks are no-ops (it expired, or a
+  // concurrent task already finished it).
+  if (job.settled.load(std::memory_order_acquire)) return;
+  if (job.has_deadline && std::chrono::steady_clock::now() > job.deadline) {
+    if (!job.settled.exchange(true)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.expired;
+        --pending_jobs_;
+      }
+      RunReport report;
+      report.status = JobStatus::kDeadlineExpired;
+      job.promise.set_value(std::move(report));
+    }
+    return;
+  }
+  try {
+    job.session->run_prime_streaming(task.prime_index, *job.channel);
+  } catch (...) {
+    // A throwing evaluator/problem must reach the submitter through
+    // its future (as the pre-streaming packaged_task delivered it),
+    // never escape a worker thread. The job's other tasks become
+    // no-ops via the settled flag; the service keeps serving.
+    if (!job.settled.exchange(true)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --pending_jobs_;
+      }
+      job.promise.set_exception(std::current_exception());
+    }
+    return;
+  }
+  if (job.primes_left.fetch_sub(1) == 1) {
+    // Last prime done. The seq_cst decrements order every other
+    // task's session writes before this read of the report.
+    if (!job.settled.exchange(true)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.completed;
+        --pending_jobs_;
+      }
+      job.promise.set_value(job.session->report());
+    }
   }
 }
 
@@ -77,40 +145,65 @@ std::shared_ptr<const PrimePlan> ProofService::plan_for(
 
 std::future<RunReport> ProofService::submit(
     std::shared_ptr<const CamelotProblem> problem, ClusterConfig config,
-    std::shared_ptr<const ByzantineAdversary> adversary) {
+    std::shared_ptr<const ByzantineAdversary> adversary,
+    SubmitOptions options) {
   if (problem == nullptr) {
     throw std::invalid_argument("ProofService::submit: null problem");
   }
   if (config.num_threads == 0) {
     config.num_threads = std::max(1u, config_.threads_per_session);
   }
-  // Resolve the plan on the submitting thread: cheap on a cache hit,
-  // and it surfaces spec errors to the caller synchronously.
+  // Resolve the plan and build the session on the submitting thread:
+  // cheap on cache hits, and it surfaces spec errors to the caller
+  // synchronously.
   auto plan = plan_for(problem->spec(), config);
 
-  auto task = std::make_shared<std::packaged_task<RunReport()>>(
-      [this, problem = std::move(problem), config, plan,
-       adversary = std::move(adversary)]() -> RunReport {
-        ProofSession session(*problem, config, cache_, plan);
-        RunReport report = session.run(adversary.get());
-        // Count before the promise is fulfilled, so a caller that has
-        // get() every future observes stats().completed == submitted.
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          ++stats_.completed;
-        }
-        return report;
-      });
-  std::future<RunReport> future = task->get_future();
+  auto job = std::make_shared<Job>();
+  job->problem = std::move(problem);
+  job->adversary = std::move(adversary);
+  if (job->adversary != nullptr) {
+    job->channel =
+        std::make_unique<AdversarialStreamingChannel>(*job->adversary);
+  } else {
+    job->channel = std::make_unique<LosslessStreamingChannel>();
+  }
+  job->session = std::make_unique<ProofSession>(*job->problem, config, cache_,
+                                                std::move(plan), codes_);
+  const std::size_t num_primes = job->session->num_primes();
+  job->primes_left.store(num_primes);
+  if (options.deadline.count() > 0) {
+    job->has_deadline = true;
+    job->deadline = std::chrono::steady_clock::now() + options.deadline;
+  }
+  std::future<RunReport> future = job->promise.get_future();
+
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       throw std::runtime_error("ProofService::submit: service is stopping");
     }
-    queue_.emplace_back([task] { (*task)(); });
-    ++stats_.submitted;
+    if (config_.max_pending_jobs != 0 &&
+        pending_jobs_ >= config_.max_pending_jobs) {
+      rejected = true;
+      ++stats_.rejected;
+    } else {
+      ++stats_.submitted;
+      ++pending_jobs_;
+      const std::uint64_t seq = next_seq_++;
+      for (std::size_t pi = 0; pi < num_primes; ++pi) {
+        tasks_.push(Task{options.priority, seq, pi, job});
+      }
+    }
   }
-  cv_.notify_one();
+  if (rejected) {
+    job->settled.store(true);
+    RunReport report;
+    report.status = JobStatus::kRejected;
+    job->promise.set_value(std::move(report));
+    return future;
+  }
+  cv_.notify_all();
   return future;
 }
 

@@ -6,25 +6,41 @@
 //   * a FieldCache (MontgomeryField + NTT twiddle tables per prime),
 //     shared by every session the service runs;
 //   * a PrimePlan cache keyed by (proof spec, redundancy, num_primes),
-//     so resubmitted or spec-identical problems skip the prime search.
+//     so resubmitted or spec-identical problems skip the prime search;
+//   * a CodeCache keyed by (prime, degree bound, code length, backend),
+//     so spec-identical batches share one ReedSolomonCode/subproduct
+//     tree instead of rebuilding both per session.
 //
-// submit() enqueues one problem and returns a std::future<RunReport>;
-// many problems run concurrently, each as a ProofSession on a worker.
-// Sessions default to one evaluation thread each (the pool provides
-// the parallelism); a config with explicit num_threads overrides.
+// Scheduling is *prime-granular*: submit() splits a job into one task
+// per CRT prime, and every worker pulls tasks from one shared priority
+// queue — so the primes of a single job run on several workers, and a
+// worker that finishes its job's primes immediately steals another
+// job's. Each task drives the full streaming pipeline for its prime
+// (prepare -> streaming transport -> incremental Gao decode -> verify
+// -> recover) through a StreamingSymbolChannel, overlapping stages
+// that the barrier pipeline serialized.
+//
+// Backpressure: the submit queue can be bounded (max_pending_jobs);
+// an overflowing submit() resolves its future immediately with
+// JobStatus::kRejected rather than queueing unboundedly. Jobs may
+// carry a deadline; a job whose deadline passes before it finishes
+// resolves with JobStatus::kDeadlineExpired. Priorities order the
+// queue (higher first, FIFO within a priority).
 //
 // Determinism: results depend only on (problem, config), never on
 // worker interleaving, because all per-run randomness is derived from
-// (config.seed, prime, stage) — see core/rng.hpp.
+// (config.seed, prime, stage) — see core/rng.hpp — and the streaming
+// transport's delivered word is order-independent by contract.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <functional>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -35,6 +51,7 @@
 #include "core/prime_plan.hpp"
 #include "core/proof_problem.hpp"
 #include "field/field_cache.hpp"
+#include "rs/code_cache.hpp"
 
 namespace camelot {
 
@@ -44,6 +61,22 @@ struct ProofServiceConfig {
   // Evaluation threads per session when the submitted ClusterConfig
   // leaves num_threads at 0 (the pool is the scaling axis).
   unsigned threads_per_session = 1;
+  // Upper bound on jobs admitted but not yet finished (0 = unbounded).
+  // When the bound is reached, submit() resolves the returned future
+  // immediately with JobStatus::kRejected.
+  std::size_t max_pending_jobs = 0;
+};
+
+// Per-job scheduling knobs for ProofService::submit.
+struct SubmitOptions {
+  // Higher-priority jobs' tasks are scheduled first; equal priorities
+  // run FIFO by submission.
+  int priority = 0;
+  // Zero = no deadline. Measured from submit() on the steady clock; a
+  // job that has not finished when its deadline passes resolves with
+  // JobStatus::kDeadlineExpired (checked whenever one of its tasks
+  // reaches a worker).
+  std::chrono::milliseconds deadline{0};
 };
 
 class ProofService {
@@ -57,37 +90,66 @@ class ProofService {
 
   // Enqueues one problem. The problem (and adversary, if any) are
   // held alive by the job via shared_ptr. Throws std::runtime_error
-  // after shutdown began.
+  // after shutdown began. Never throws on overload: a rejected job's
+  // future resolves at once with JobStatus::kRejected (success=false).
   std::future<RunReport> submit(
       std::shared_ptr<const CamelotProblem> problem,
       ClusterConfig config = {},
-      std::shared_ptr<const ByzantineAdversary> adversary = nullptr);
+      std::shared_ptr<const ByzantineAdversary> adversary = nullptr,
+      SubmitOptions options = {});
 
   // The per-prime field cache shared by every session of this service.
   const std::shared_ptr<FieldCache>& field_cache() const noexcept {
     return cache_;
   }
+  // The (prime, d, e) Reed--Solomon code cache shared across jobs.
+  const std::shared_ptr<CodeCache>& code_cache() const noexcept {
+    return codes_;
+  }
 
   struct Stats {
-    std::size_t submitted = 0;
-    std::size_t completed = 0;
+    std::size_t submitted = 0;  // admitted jobs (excludes rejections)
+    std::size_t completed = 0;  // jobs that ran to completion
+    std::size_t rejected = 0;   // bounded-queue rejections
+    std::size_t expired = 0;    // deadline expiries
     std::size_t plan_cache_hits = 0;
     std::size_t plan_cache_misses = 0;
   };
   Stats stats() const;
 
  private:
+  struct Job;
+  struct Task {
+    int priority = 0;
+    std::uint64_t seq = 0;  // admission order (FIFO within priority)
+    std::size_t prime_index = 0;
+    std::shared_ptr<Job> job;
+  };
+  struct TaskOrder {
+    bool operator()(const Task& a, const Task& b) const {
+      // priority_queue pops the *largest*: highest priority first,
+      // then earliest admission, then ascending prime index.
+      if (a.priority != b.priority) return a.priority < b.priority;
+      if (a.seq != b.seq) return a.seq > b.seq;
+      return a.prime_index > b.prime_index;
+    }
+  };
+
   std::shared_ptr<const PrimePlan> plan_for(const ProofSpec& spec,
                                             const ClusterConfig& config);
   void worker_loop();
+  void run_task(const Task& task);
 
   ProofServiceConfig config_;
   std::shared_ptr<FieldCache> cache_;
+  std::shared_ptr<CodeCache> codes_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
-  std::deque<std::function<void()>> queue_;
+  std::priority_queue<Task, std::vector<Task>, TaskOrder> tasks_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_jobs_ = 0;  // admitted, not yet settled
   std::unordered_map<std::string, std::shared_ptr<const PrimePlan>> plans_;
   Stats stats_;
 

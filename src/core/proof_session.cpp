@@ -23,16 +23,47 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }
 
 // RAII accumulator: every public stage call adds its elapsed time to
-// the session's wall clock.
+// the session's wall clock. CAS loop instead of fetch_add so the
+// atomic<double> accumulation stays portable across libstdc++ levels.
 class WallTimer {
  public:
-  explicit WallTimer(double* total)
+  explicit WallTimer(std::atomic<double>* total)
       : total_(total), t0_(std::chrono::steady_clock::now()) {}
-  ~WallTimer() { *total_ += seconds_since(t0_); }
+  ~WallTimer() {
+    const double dt = seconds_since(t0_);
+    double cur = total_->load(std::memory_order_relaxed);
+    while (!total_->compare_exchange_weak(cur, cur + dt,
+                                          std::memory_order_relaxed)) {
+    }
+  }
 
  private:
-  double* total_;
+  std::atomic<double>* total_;
   std::chrono::steady_clock::time_point t0_;
+};
+
+// First exception thrown on any pool worker, rethrown on the calling
+// thread after the join — a throwing evaluator or stage must reach
+// the caller (as the barrier pipeline's calling-thread stages always
+// did), never std::terminate a bare worker thread.
+class FirstError {
+ public:
+  void capture() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (err_ == nullptr) err_ = std::current_exception();
+    failed_.store(true, std::memory_order_release);
+  }
+  bool failed() const noexcept {
+    return failed_.load(std::memory_order_acquire);
+  }
+  void rethrow_if_any() {
+    if (err_ != nullptr) std::rethrow_exception(err_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::exception_ptr err_;
+  std::atomic<bool> failed_{false};
 };
 
 }  // namespace
@@ -54,11 +85,13 @@ std::vector<u64> AdversarialChannel::deliver(
 
 ProofSession::ProofSession(const CamelotProblem& problem, ClusterConfig config,
                            std::shared_ptr<FieldCache> cache,
-                           std::shared_ptr<const PrimePlan> plan)
+                           std::shared_ptr<const PrimePlan> plan,
+                           std::shared_ptr<CodeCache> codes)
     : problem_(problem),
       config_(config),
       spec_(problem.spec()),
-      cache_(cache != nullptr ? std::move(cache) : FieldCache::global()) {
+      cache_(cache != nullptr ? std::move(cache) : FieldCache::global()),
+      codes_(std::move(codes)) {
   if (config_.num_nodes == 0) {
     throw std::invalid_argument("ProofSession: need at least one node");
   }
@@ -125,6 +158,81 @@ void ProofSession::invalidate_downstream(PrimeState& st,
   if (new_stage < SessionStage::kRecovered) st.report.answer_residues.clear();
 }
 
+void ProofSession::ensure_code(PrimeState& st) {
+  if (st.code != nullptr) return;
+  const std::size_t e = plan_->code_length;
+  st.code = codes_ != nullptr
+                ? codes_->code(st.ops, spec_.degree_bound, e)
+                : std::make_shared<const ReedSolomonCode>(
+                      st.ops, spec_.degree_bound, e);
+}
+
+std::pair<std::size_t, std::vector<u64>> ProofSession::compute_node_chunk(
+    PrimeState& st, std::size_t node) {
+  const std::size_t e = plan_->code_length;
+  const std::size_t k = config_.num_nodes;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto evaluator = problem_.make_evaluator(st.ops);
+  // Node j owns the contiguous chunk [lo, hi) of the codeword (the
+  // closed form of symbol_owner: owner(i) = floor(i*K/e)); issue a
+  // single batched call for the whole chunk so the evaluator can
+  // amortize its point-independent work.
+  const std::size_t lo = (node * e + k - 1) / k;
+  const std::size_t hi = std::min(e, ((node + 1) * e + k - 1) / k);
+  std::vector<u64> values;
+  if (hi > lo) {
+    const std::span<const u64> chunk(st.code->points().data() + lo, hi - lo);
+    values = evaluator->evaluate_points(chunk);
+  }
+  const double secs = seconds_since(t0);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  node_stats_[node].symbols_computed += hi - lo;
+  node_stats_[node].seconds += secs;
+  return {lo, std::move(values)};
+}
+
+// ---- Stage bodies (shared by barrier staging and streaming) --------------
+
+void ProofSession::apply_decode(PrimeState& st, GaoResult decoded) {
+  st.decoded = std::move(decoded);
+  st.report.decode_status = st.decoded.status;
+  st.report.corrected_symbols.clear();
+  st.report.implicated_nodes.clear();
+  if (st.decoded.status == DecodeStatus::kOk) {
+    st.report.corrected_symbols = st.decoded.error_locations;
+    std::set<std::size_t> nodes;
+    for (std::size_t loc : st.decoded.error_locations) {
+      nodes.insert(owners_[loc]);
+    }
+    st.report.implicated_nodes = {nodes.begin(), nodes.end()};
+  }
+  invalidate_downstream(st, SessionStage::kDecoded);
+}
+
+void ProofSession::apply_verify(PrimeState& st) {
+  st.report.verified = false;
+  if (st.decoded.status == DecodeStatus::kOk) {
+    VerifyResult vr = verify_proof(
+        problem_, st.decoded.message, st.ops, config_.verification_trials,
+        derive_stream(config_.seed, st.prime, PipelineStage::kVerify));
+    st.report.verified = vr.accepted;
+  }
+  st.stage = SessionStage::kVerified;
+  st.report.answer_residues.clear();
+}
+
+void ProofSession::apply_recover(PrimeState& st) {
+  st.report.answer_residues.clear();
+  if (st.report.verified) {
+    st.report.answer_residues =
+        problem_.recover(st.decoded.message, st.ops.prime());
+    if (st.report.answer_residues.size() != spec_.answer_count) {
+      throw std::logic_error("CamelotProblem::recover: answer count");
+    }
+  }
+  st.stage = SessionStage::kRecovered;
+}
+
 // ---- Step 1: proof preparation, in distributed encoded form -------------
 
 void ProofSession::prepare_prime(std::size_t prime_index) {
@@ -132,9 +240,7 @@ void ProofSession::prepare_prime(std::size_t prime_index) {
   PrimeState& st = state_at(prime_index);
   const std::size_t e = plan_->code_length;
   const std::size_t k = config_.num_nodes;
-  if (st.code == nullptr) {
-    st.code = std::make_unique<ReedSolomonCode>(st.ops, spec_.degree_bound, e);
-  }
+  ensure_code(st);
   std::vector<u64> codeword(e, 0);
 
   unsigned threads = config_.num_threads != 0
@@ -143,36 +249,25 @@ void ProofSession::prepare_prime(std::size_t prime_index) {
   threads = std::min<unsigned>(threads, static_cast<unsigned>(k));
 
   std::atomic<std::size_t> next_node{0};
-  std::mutex stats_mutex;
+  FirstError errors;
   auto worker = [&]() {
-    while (true) {
-      const std::size_t j = next_node.fetch_add(1);
-      if (j >= k) break;
-      const auto t0 = std::chrono::steady_clock::now();
-      auto evaluator = problem_.make_evaluator(st.ops);
-      // Node j owns the contiguous chunk [lo, hi) of the codeword
-      // (the closed form of symbol_owner: owner(i) = floor(i*K/e));
-      // issue a single batched call for the whole chunk so the
-      // evaluator can amortize its point-independent work.
-      const std::size_t lo = (j * e + k - 1) / k;
-      const std::size_t hi = std::min(e, ((j + 1) * e + k - 1) / k);
-      const std::size_t count = hi - lo;
-      if (count > 0) {
-        const std::span<const u64> chunk(st.code->points().data() + lo,
-                                         count);
-        const std::vector<u64> values = evaluator->evaluate_points(chunk);
-        std::copy(values.begin(), values.end(), codeword.begin() + lo);
+    try {
+      while (!errors.failed()) {
+        const std::size_t j = next_node.fetch_add(1);
+        if (j >= k) break;
+        auto [lo, values] = compute_node_chunk(st, j);
+        std::copy(values.begin(), values.end(),
+                  codeword.begin() + static_cast<long>(lo));
       }
-      const double secs = seconds_since(t0);
-      std::lock_guard<std::mutex> lock(stats_mutex);
-      node_stats_[j].symbols_computed += count;
-      node_stats_[j].seconds += secs;
+    } catch (...) {
+      errors.capture();
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
+  errors.rethrow_if_any();
 
   st.sent = std::move(codeword);
   st.received.clear();
@@ -201,19 +296,7 @@ void ProofSession::decode_prime(std::size_t prime_index) {
   WallTimer wt(&wall_seconds_);
   state_at_least(prime_index, SessionStage::kTransported, "decode_prime");
   PrimeState& st = state_at(prime_index);
-  st.decoded = gao_decode(*st.code, st.received);
-  st.report.decode_status = st.decoded.status;
-  st.report.corrected_symbols.clear();
-  st.report.implicated_nodes.clear();
-  if (st.decoded.status == DecodeStatus::kOk) {
-    st.report.corrected_symbols = st.decoded.error_locations;
-    std::set<std::size_t> nodes;
-    for (std::size_t loc : st.decoded.error_locations) {
-      nodes.insert(owners_[loc]);
-    }
-    st.report.implicated_nodes = {nodes.begin(), nodes.end()};
-  }
-  invalidate_downstream(st, SessionStage::kDecoded);
+  apply_decode(st, gao_decode(*st.code, st.received));
 }
 
 // ---- Step 3: checking the putative proof for correctness ----------------
@@ -221,16 +304,7 @@ void ProofSession::decode_prime(std::size_t prime_index) {
 void ProofSession::verify_prime(std::size_t prime_index) {
   WallTimer wt(&wall_seconds_);
   state_at_least(prime_index, SessionStage::kDecoded, "verify_prime");
-  PrimeState& st = state_at(prime_index);
-  st.report.verified = false;
-  if (st.decoded.status == DecodeStatus::kOk) {
-    VerifyResult vr = verify_proof(
-        problem_, st.decoded.message, st.ops, config_.verification_trials,
-        derive_stream(config_.seed, st.prime, PipelineStage::kVerify));
-    st.report.verified = vr.accepted;
-  }
-  st.stage = SessionStage::kVerified;
-  st.report.answer_residues.clear();
+  apply_verify(state_at(prime_index));
 }
 
 // ---- Residue extraction --------------------------------------------------
@@ -238,16 +312,7 @@ void ProofSession::verify_prime(std::size_t prime_index) {
 void ProofSession::recover_prime(std::size_t prime_index) {
   WallTimer wt(&wall_seconds_);
   state_at_least(prime_index, SessionStage::kVerified, "recover_prime");
-  PrimeState& st = state_at(prime_index);
-  st.report.answer_residues.clear();
-  if (st.report.verified) {
-    st.report.answer_residues =
-        problem_.recover(st.decoded.message, st.ops.prime());
-    if (st.report.answer_residues.size() != spec_.answer_count) {
-      throw std::logic_error("CamelotProblem::recover: answer count");
-    }
-  }
-  st.stage = SessionStage::kRecovered;
+  apply_recover(state_at(prime_index));
 }
 
 void ProofSession::reset_prime(std::size_t prime_index) {
@@ -303,18 +368,226 @@ ProofSession& ProofSession::recover() {
   return *this;
 }
 
-RunReport ProofSession::run(const ByzantineAdversary* adversary) {
+void ProofSession::reset_for_run() {
   for (std::size_t pi = 0; pi < primes_.size(); ++pi) reset_prime(pi);
   for (NodeStats& ns : node_stats_) {
     ns.symbols_computed = 0;
     ns.seconds = 0.0;
   }
-  wall_seconds_ = 0.0;
+  wall_seconds_.store(0.0, std::memory_order_relaxed);
+}
+
+RunReport ProofSession::run(const ByzantineAdversary* adversary) {
+  if (adversary != nullptr) {
+    return run_streaming(AdversarialStreamingChannel(*adversary));
+  }
+  return run_streaming(LosslessStreamingChannel());
+}
+
+RunReport ProofSession::run_barrier(const ByzantineAdversary* adversary) {
+  reset_for_run();
   prepare();
   transport(adversary);
   decode();
   verify();
   recover();
+  return report();
+}
+
+// ---- Streaming pipeline --------------------------------------------------
+
+std::unique_ptr<SymbolStream> ProofSession::open_prime_stream(
+    PrimeState& st, const StreamingSymbolChannel& channel) {
+  const std::size_t e = plan_->code_length;
+  ensure_code(st);
+  st.sent.assign(e, 0);
+  st.received.clear();
+  invalidate_downstream(st, SessionStage::kCreated);
+  StreamSpec spec;
+  spec.prime = st.prime;
+  spec.code_length = e;
+  spec.owners = owners_;
+  spec.points = st.code->points();
+  spec.field = &st.ops.prime();
+  spec.stream_seed =
+      derive_stream(config_.seed, st.prime, PipelineStage::kTransport);
+  return channel.open(spec);
+}
+
+void ProofSession::finalize_prime_stream(PrimeState& st,
+                                         StreamingGaoDecoder& decoder) {
+  if (!decoder.ready()) {
+    throw std::logic_error(
+        "StreamingSymbolChannel: stream exhausted without delivering every "
+        "symbol");
+  }
+  st.received = decoder.received();
+  st.stage = SessionStage::kTransported;
+  apply_decode(st, decoder.finish());
+  apply_verify(st);
+  apply_recover(st);
+}
+
+void ProofSession::run_prime_streaming(std::size_t prime_index,
+                                       const StreamingSymbolChannel& channel) {
+  WallTimer wt(&wall_seconds_);
+  PrimeState& st = state_at(prime_index);
+  const std::size_t k = config_.num_nodes;
+  std::unique_ptr<SymbolStream> stream = open_prime_stream(st, channel);
+  StreamingGaoDecoder decoder(*st.code);
+  std::mutex absorb_mu;
+
+  unsigned threads = config_.num_threads != 0
+                         ? config_.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(k));
+
+  std::atomic<std::size_t> next_node{0};
+  std::atomic<std::size_t> nodes_done{0};
+  FirstError errors;
+  auto worker = [&]() {
+    try {
+      while (!errors.failed()) {
+        const std::size_t j = next_node.fetch_add(1);
+        if (j >= k) break;
+        auto [lo, values] = compute_node_chunk(st, j);
+        std::copy(values.begin(), values.end(),
+                  st.sent.begin() + static_cast<long>(lo));
+        SymbolChunk chunk;
+        chunk.offset = lo;
+        chunk.node = j;
+        chunk.symbols = std::move(values);
+        stream->push(std::move(chunk));
+        if (nodes_done.fetch_add(1) + 1 == k) stream->close();
+        // Overlap: absorb whatever is deliverable while other nodes
+        // are still computing.
+        std::lock_guard<std::mutex> lock(absorb_mu);
+        while (auto c = stream->poll()) decoder.absorb(c->offset, c->symbols);
+      }
+    } catch (...) {
+      errors.capture();
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  errors.rethrow_if_any();
+
+  // Drain the tail: a rate-limited stream releases a bounded number of
+  // symbols per poll, so keep polling until it reports exhaustion.
+  while (!stream->exhausted()) {
+    if (auto c = stream->poll()) decoder.absorb(c->offset, c->symbols);
+  }
+  finalize_prime_stream(st, decoder);
+}
+
+RunReport ProofSession::run_streaming(const StreamingSymbolChannel& channel) {
+  reset_for_run();
+  WallTimer wt(&wall_seconds_);
+  const std::size_t k = config_.num_nodes;
+  const std::size_t num_primes = primes_.size();
+
+  // Per-prime in-flight broadcast state.
+  struct Flight {
+    std::unique_ptr<SymbolStream> stream;
+    std::unique_ptr<StreamingGaoDecoder> decoder;
+    std::mutex mu;  // serializes poll/absorb
+    std::atomic<std::size_t> nodes_done{0};
+    std::atomic<bool> finalized{false};
+  };
+  std::vector<std::unique_ptr<Flight>> flights;
+  flights.reserve(num_primes);
+  for (std::size_t pi = 0; pi < num_primes; ++pi) {
+    PrimeState& st = primes_[pi];
+    auto fl = std::make_unique<Flight>();
+    fl->stream = open_prime_stream(st, channel);
+    fl->decoder = std::make_unique<StreamingGaoDecoder>(*st.code);
+    flights.push_back(std::move(fl));
+  }
+
+  // Absorb what the channel will deliver now; with `to_exhaustion` the
+  // caller just closed the stream and drives out the tail. Whichever
+  // worker absorbs the last symbol wins the finalized flag and runs
+  // decode -> verify -> recover for the prime — possibly while other
+  // primes are still preparing. That overlap is the whole point.
+  auto drain = [&](std::size_t pi, bool to_exhaustion) {
+    Flight& fl = *flights[pi];
+    {
+      std::lock_guard<std::mutex> lock(fl.mu);
+      if (to_exhaustion) {
+        while (!fl.stream->exhausted()) {
+          if (auto c = fl.stream->poll()) {
+            fl.decoder->absorb(c->offset, c->symbols);
+          }
+        }
+      } else {
+        while (auto c = fl.stream->poll()) {
+          fl.decoder->absorb(c->offset, c->symbols);
+        }
+      }
+      if (!fl.decoder->ready()) return;
+    }
+    if (!fl.finalized.exchange(true)) {
+      finalize_prime_stream(primes_[pi], *fl.decoder);
+    }
+  };
+
+  // Task t = (prime t/k, node t%k), claimed prime-major so early
+  // primes' streams fill (and decode) while later primes prepare.
+  std::atomic<std::size_t> next_task{0};
+  const std::size_t total_tasks = num_primes * k;
+  FirstError errors;
+  auto worker = [&]() {
+    try {
+      while (!errors.failed()) {
+        const std::size_t t = next_task.fetch_add(1);
+        if (t >= total_tasks) break;
+        const std::size_t pi = t / k;
+        const std::size_t j = t % k;
+        PrimeState& st = primes_[pi];
+        auto [lo, values] = compute_node_chunk(st, j);
+        std::copy(values.begin(), values.end(),
+                  st.sent.begin() + static_cast<long>(lo));
+        Flight& fl = *flights[pi];
+        SymbolChunk chunk;
+        chunk.offset = lo;
+        chunk.node = j;
+        chunk.symbols = std::move(values);
+        fl.stream->push(std::move(chunk));
+        const bool last = fl.nodes_done.fetch_add(1) + 1 == k;
+        if (last) fl.stream->close();
+        drain(pi, /*to_exhaustion=*/last);
+      }
+    } catch (...) {
+      errors.capture();
+    }
+  };
+  unsigned threads = config_.num_threads != 0
+                         ? config_.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(total_tasks));
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  errors.rethrow_if_any();
+
+  for (std::size_t pi = 0; pi < num_primes; ++pi) {
+    if (!flights[pi]->finalized.load()) {
+      throw std::logic_error(
+          "StreamingSymbolChannel: stream exhausted without delivering "
+          "every symbol");
+    }
+  }
   return report();
 }
 
@@ -370,7 +643,7 @@ RunReport ProofSession::report() const {
   out.code_length = plan_->code_length;
   out.num_primes = plan_->primes.size();
   out.node_stats = node_stats_;
-  out.wall_seconds = wall_seconds_;
+  out.wall_seconds = wall_seconds_.load(std::memory_order_relaxed);
   out.per_prime.reserve(primes_.size());
   for (const PrimeState& st : primes_) out.per_prime.push_back(st.report);
 

@@ -28,14 +28,19 @@
 // stage), so results are identical regardless of num_threads.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <utility>
 
 #include "core/byzantine.hpp"
 #include "core/cluster_types.hpp"
 #include "core/prime_plan.hpp"
 #include "core/proof_problem.hpp"
+#include "core/symbol_stream.hpp"
 #include "field/field_cache.hpp"
+#include "rs/code_cache.hpp"
 #include "rs/gao.hpp"
 
 namespace camelot {
@@ -97,10 +102,13 @@ class ProofSession {
  public:
   // The problem must outlive the session. `cache` defaults to
   // FieldCache::global(); `plan` lets a ProofService inject a cached
-  // PrimePlan (nullptr recomputes it from the spec).
+  // PrimePlan (nullptr recomputes it from the spec); `codes` lets it
+  // share built ReedSolomonCode instances across jobs (nullptr builds
+  // per-session codes, as a stand-alone session always did).
   ProofSession(const CamelotProblem& problem, ClusterConfig config,
                std::shared_ptr<FieldCache> cache = nullptr,
-               std::shared_ptr<const PrimePlan> plan = nullptr);
+               std::shared_ptr<const PrimePlan> plan = nullptr,
+               std::shared_ptr<CodeCache> codes = nullptr);
 
   const ClusterConfig& config() const noexcept { return config_; }
   const PrimePlan& plan() const noexcept { return *plan_; }
@@ -119,8 +127,33 @@ class ProofSession {
   ProofSession& recover();
 
   // One-shot pipeline; resets any existing per-prime state first.
-  // Equivalent to (and used by) the legacy Cluster::run().
+  // Equivalent to (and used by) the legacy Cluster::run(). Since the
+  // streaming transport landed this drives the overlapped pipeline
+  // below (over an adversarial or lossless streaming channel) — the
+  // reports are bit-identical to the barrier staging either way.
   RunReport run(const ByzantineAdversary* adversary = nullptr);
+
+  // One-shot pipeline over the whole-stage barriers (prepare every
+  // prime, then transport, then decode, ...). Kept for A/B against
+  // the streaming pipeline; results are bit-identical.
+  RunReport run_barrier(const ByzantineAdversary* adversary = nullptr);
+
+  // ---- Streaming pipeline -----------------------------------------------
+  // Overlapped one-shot run: per-(prime, node) chunks are pushed into
+  // the channel's per-prime streams the moment they are computed, the
+  // resumable Gao decoder absorbs them as they arrive, and a prime
+  // decodes/verifies/recovers as soon as its stream drains — while
+  // other primes are still preparing. Resets existing state first.
+  // Worker threads: config.num_threads (0 = hardware concurrency).
+  RunReport run_streaming(const StreamingSymbolChannel& channel);
+
+  // One prime's full pipeline (prepare -> stream -> decode -> verify
+  // -> recover) driven through `channel` on the calling thread (plus
+  // config.num_threads node workers when > 1). Safe to call
+  // concurrently for *distinct* primes of one session — this is the
+  // unit the ProofService scheduler steals across jobs.
+  void run_prime_streaming(std::size_t prime_index,
+                           const StreamingSymbolChannel& channel);
 
   // ---- Per-prime stages (selective re-run) ------------------------------
   // Preconditions are checked: each stage requires the prime to have
@@ -158,7 +191,9 @@ class ProofSession {
     u64 prime = 0;
     SessionStage stage = SessionStage::kCreated;
     FieldOps ops;
-    std::unique_ptr<ReedSolomonCode> code;  // built on first prepare
+    // Built on first use; shared via the CodeCache when one was
+    // injected (deep-const, so cross-job sharing is safe).
+    std::shared_ptr<const ReedSolomonCode> code;
     std::vector<u64> sent;
     std::vector<u64> received;
     GaoResult decoded;
@@ -175,16 +210,41 @@ class ProofSession {
                                    SessionStage min_stage,
                                    const char* what) const;
   void invalidate_downstream(PrimeState& st, SessionStage new_stage);
+  void ensure_code(PrimeState& st);
+  // Resets `st` to kCreated and opens its per-prime stream on the
+  // channel (shared front half of the two streaming drivers).
+  std::unique_ptr<SymbolStream> open_prime_stream(
+      PrimeState& st, const StreamingSymbolChannel& channel);
+  // Back half: requires a fully-absorbed decoder; runs decode ->
+  // verify -> recover (throws if the stream delivered short).
+  void finalize_prime_stream(PrimeState& st, StreamingGaoDecoder& decoder);
+  // Node's chunk of the codeword for `st` (one batched evaluator
+  // call); records node stats. Returns (chunk start, chunk values).
+  std::pair<std::size_t, std::vector<u64>> compute_node_chunk(
+      PrimeState& st, std::size_t node);
+  // Stage bodies shared by the barrier stage methods (which add
+  // precondition checks and wall timing) and the streaming pipeline.
+  void apply_decode(PrimeState& st, GaoResult decoded);
+  void apply_verify(PrimeState& st);
+  void apply_recover(PrimeState& st);
+  void reset_for_run();
 
   const CamelotProblem& problem_;
   ClusterConfig config_;
   ProofSpec spec_;
   std::shared_ptr<FieldCache> cache_;
+  std::shared_ptr<CodeCache> codes_;  // may be null (private builds)
   std::shared_ptr<const PrimePlan> plan_;
   std::vector<std::size_t> owners_;  // symbol index -> owning node
   std::vector<PrimeState> primes_;
+  // Guards node_stats_ (written concurrently by node workers and by
+  // concurrent per-prime streaming pipelines).
+  std::mutex stats_mu_;
   std::vector<NodeStats> node_stats_;
-  double wall_seconds_ = 0.0;
+  // Accumulated stage seconds. Atomic because concurrent per-prime
+  // streaming pipelines each add their elapsed time; under overlap
+  // this is closer to busy-time than wall-clock.
+  std::atomic<double> wall_seconds_{0.0};
 };
 
 }  // namespace camelot

@@ -27,17 +27,23 @@ bool gao_core(const Poly& g0, Poly g1, std::size_t e, std::size_t d,
 
 }  // namespace
 
-GaoResult gao_decode(const ReedSolomonCode& code,
-                     std::span<const u64> received) {
+namespace {
+
+// Decode core over boundary-prepared words: `canonical` holds the
+// received word as canonical representatives, `domain` the same word
+// in the backend's value domain (equal to `canonical` under the
+// division backend). Both gao_decode and StreamingGaoDecoder::finish
+// land here, which is what keeps streaming decodes bit-identical to
+// barrier ones.
+GaoResult gao_decode_prepared(const ReedSolomonCode& code,
+                              std::span<const u64> canonical,
+                              std::span<const u64> domain) {
   GaoResult out;
   const FieldOps& ops = code.ops();
   const PrimeField& f = ops.prime();
   const SubproductTree& tree = code.tree();
   const std::size_t e = code.length();
   const std::size_t d = code.degree_bound();
-  if (received.size() != e) {
-    throw std::invalid_argument("gao_decode: received length mismatch");
-  }
 
   // Both Montgomery backends share the domain handling; only the
   // remainder-sequence instantiation differs between them.
@@ -45,9 +51,8 @@ GaoResult gao_decode(const ReedSolomonCode& code,
   const bool montgomery = backend != FieldBackend::kPrimeDivision;
 
   // Interpolate G1 through the received word, in the backend's domain.
-  Poly g1 = montgomery
-                ? tree.interpolate_mont(ops.mont().to_mont_vec(received))
-                : tree.interpolate(received, f);
+  Poly g1 = montgomery ? tree.interpolate_mont(domain)
+                       : tree.interpolate(canonical, f);
 
   // The received word is itself a codeword (in particular the all-zero
   // word, which degenerates the Euclidean remainder sequence).
@@ -55,8 +60,7 @@ GaoResult gao_decode(const ReedSolomonCode& code,
     out.status = DecodeStatus::kOk;
     out.message = montgomery ? Poly{ops.mont().from_mont_vec(g1.c)}
                              : std::move(g1);
-    out.corrected.assign(received.begin(), received.end());
-    for (u64& v : out.corrected) v = f.reduce(v);
+    out.corrected.assign(canonical.begin(), canonical.end());
     return out;
   }
 
@@ -85,7 +89,7 @@ GaoResult gao_decode(const ReedSolomonCode& code,
     out.message = std::move(message);
   }
   for (std::size_t i = 0; i < e; ++i) {
-    if (out.corrected[i] != f.reduce(received[i])) {
+    if (out.corrected[i] != canonical[i]) {
       out.error_locations.push_back(i);
     }
   }
@@ -94,6 +98,61 @@ GaoResult gao_decode(const ReedSolomonCode& code,
   // within radius of a *different* codeword; report it as-is (the
   // caller's verification step (eq. (2)) is the final authority).
   return out;
+}
+
+}  // namespace
+
+GaoResult gao_decode(const ReedSolomonCode& code,
+                     std::span<const u64> received) {
+  if (received.size() != code.length()) {
+    throw std::invalid_argument("gao_decode: received length mismatch");
+  }
+  const PrimeField& f = code.ops().prime();
+  std::vector<u64> canonical(received.begin(), received.end());
+  for (u64& v : canonical) v = f.reduce(v);
+  if (code.ops().backend() == FieldBackend::kPrimeDivision) {
+    return gao_decode_prepared(code, canonical, canonical);
+  }
+  return gao_decode_prepared(code, canonical,
+                             code.ops().mont().to_mont_vec(canonical));
+}
+
+StreamingGaoDecoder::StreamingGaoDecoder(const ReedSolomonCode& code)
+    : code_(code),
+      montgomery_(code.ops().backend() != FieldBackend::kPrimeDivision),
+      canonical_(code.length(), 0),
+      seen_(code.length(), false) {
+  if (montgomery_) domain_.assign(code.length(), 0);
+}
+
+void StreamingGaoDecoder::absorb(std::size_t offset,
+                                 std::span<const u64> symbols) {
+  if (offset + symbols.size() > canonical_.size()) {
+    throw std::logic_error("StreamingGaoDecoder::absorb: chunk out of range");
+  }
+  const PrimeField& f = code_.ops().prime();
+  const MontgomeryField* m = montgomery_ ? &code_.ops().mont() : nullptr;
+  for (std::size_t j = 0; j < symbols.size(); ++j) {
+    const std::size_t i = offset + j;
+    if (seen_[i]) {
+      throw std::logic_error(
+          "StreamingGaoDecoder::absorb: position absorbed twice");
+    }
+    seen_[i] = true;
+    canonical_[i] = f.reduce(symbols[j]);
+    if (m != nullptr) domain_[i] = m->to_mont(canonical_[i]);
+  }
+  absorbed_ += symbols.size();
+}
+
+GaoResult StreamingGaoDecoder::finish() const {
+  if (!ready()) {
+    throw std::logic_error(
+        "StreamingGaoDecoder::finish: stream incomplete — "
+        "not every symbol was absorbed");
+  }
+  return gao_decode_prepared(code_, canonical_,
+                             montgomery_ ? domain_ : canonical_);
 }
 
 }  // namespace camelot

@@ -38,4 +38,40 @@ struct GaoResult {
 GaoResult gao_decode(const ReedSolomonCode& code,
                      std::span<const u64> received);
 
+// Resumable decode front end for streaming transports: symbols are
+// absorbed chunk by chunk, in any arrival order, and the per-symbol
+// boundary work (canonical reduction + Montgomery domain conversion)
+// happens at absorb time — overlapped with the nodes still preparing
+// the rest of the codeword — so finish() starts directly at the
+// interpolation. finish() is bit-identical to gao_decode() on the
+// same word.
+class StreamingGaoDecoder {
+ public:
+  // The code must outlive the decoder.
+  explicit StreamingGaoDecoder(const ReedSolomonCode& code);
+
+  // Absorbs symbols for positions [offset, offset + symbols.size()).
+  // Each position must be absorbed exactly once (std::logic_error on
+  // overlap or out-of-range chunks). Not thread-safe; the session
+  // serializes absorbs per prime.
+  void absorb(std::size_t offset, std::span<const u64> symbols);
+
+  std::size_t absorbed() const noexcept { return absorbed_; }
+  // True once every one of the code's e positions has been absorbed.
+  bool ready() const noexcept { return absorbed_ == canonical_.size(); }
+  // Canonical received word (meaningful once ready()).
+  const std::vector<u64>& received() const noexcept { return canonical_; }
+
+  // Runs interpolation + remainder sequence; requires ready().
+  GaoResult finish() const;
+
+ private:
+  const ReedSolomonCode& code_;
+  bool montgomery_;
+  std::vector<u64> canonical_;  // received word, canonical domain
+  std::vector<u64> domain_;     // same word in the backend's domain
+  std::vector<bool> seen_;
+  std::size_t absorbed_ = 0;
+};
+
 }  // namespace camelot

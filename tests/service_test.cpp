@@ -1,10 +1,15 @@
 // Tests for the concurrent ProofService facade: several distinct
 // problems in flight at once, shared per-prime field state, prime
-// plan caching, adversarial submissions and shutdown draining.
+// plan and code caching, adversarial submissions, shutdown draining,
+// and the backpressure scheduler (bounded queue, priorities, per-job
+// deadlines).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "apps/conv3sum.hpp"
@@ -160,6 +165,210 @@ TEST(ProofService, DestructorDrainsQueuedJobs) {
 TEST(ProofService, RejectsNullProblem) {
   ProofService service({.num_workers = 1});
   EXPECT_THROW(service.submit(nullptr), std::invalid_argument);
+}
+
+// Delegating problem that records the execution order of jobs: the
+// first make_evaluator call of a job happens when a worker starts its
+// first prime task, so first-occurrence order in the log is the
+// scheduler's dispatch order.
+class TaggedProblem final : public CamelotProblem {
+ public:
+  TaggedProblem(std::shared_ptr<const CamelotProblem> inner, std::string tag,
+                std::shared_ptr<std::vector<std::string>> log,
+                std::shared_ptr<std::mutex> mu)
+      : inner_(std::move(inner)),
+        tag_(std::move(tag)),
+        log_(std::move(log)),
+        mu_(std::move(mu)) {}
+
+  std::string name() const override { return inner_->name(); }
+  ProofSpec spec() const override { return inner_->spec(); }
+  std::unique_ptr<Evaluator> make_evaluator(const FieldOps& f) const override {
+    {
+      std::lock_guard<std::mutex> lock(*mu_);
+      log_->push_back(tag_);
+    }
+    return inner_->make_evaluator(f);
+  }
+  std::vector<u64> recover(const Poly& proof,
+                           const PrimeField& f) const override {
+    return inner_->recover(proof, f);
+  }
+
+ private:
+  std::shared_ptr<const CamelotProblem> inner_;
+  std::string tag_;
+  std::shared_ptr<std::vector<std::string>> log_;
+  std::shared_ptr<std::mutex> mu_;
+};
+
+TEST(ProofService, BoundedQueueRejectsOverload) {
+  ProofService service(
+      {.num_workers = 1, .threads_per_session = 1, .max_pending_jobs = 2});
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.redundancy = 2.0;
+
+  auto problems = four_problems();
+  std::vector<std::future<RunReport>> futures;
+  constexpr int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(service.submit(problems[0], cfg));
+  }
+  std::size_t ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    RunReport report = f.get();
+    if (report.status == JobStatus::kRejected) {
+      ++rejected;
+      EXPECT_FALSE(report.success);
+      EXPECT_TRUE(report.answers.empty());
+    } else {
+      ++ok;
+      EXPECT_EQ(report.status, JobStatus::kOk);
+      EXPECT_TRUE(report.success);
+    }
+  }
+  // One worker against an instant burst of 8 with room for 2: at
+  // least the submissions racing the very first job must bounce.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(ok, 0u);
+  EXPECT_EQ(ok + rejected, static_cast<std::size_t>(kBurst));
+  const ProofService::Stats stats = service.stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.submitted, ok);
+  EXPECT_EQ(stats.completed, ok);
+}
+
+TEST(ProofService, DeadlineExpiresQueuedJob) {
+  ProofService service({.num_workers = 1});
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.redundancy = 2.0;
+  auto problems = four_problems();
+
+  // Occupy the single worker, then queue a job whose deadline will
+  // have passed by the time the worker reaches it.
+  std::vector<std::future<RunReport>> blockers;
+  for (int i = 0; i < 3; ++i) {
+    blockers.push_back(service.submit(problems[i % problems.size()], cfg));
+  }
+  SubmitOptions doomed;
+  doomed.deadline = std::chrono::milliseconds(1);
+  std::future<RunReport> expired =
+      service.submit(problems[3], cfg, nullptr, doomed);
+
+  RunReport report = expired.get();
+  EXPECT_EQ(report.status, JobStatus::kDeadlineExpired);
+  EXPECT_FALSE(report.success);
+  EXPECT_TRUE(report.answers.empty());
+  for (auto& f : blockers) {
+    EXPECT_TRUE(f.get().success);  // deadline never harms other jobs
+  }
+  const ProofService::Stats stats = service.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+
+  // A generous deadline does not interfere with completion.
+  SubmitOptions relaxed;
+  relaxed.deadline = std::chrono::minutes(10);
+  RunReport fine = service.submit(problems[3], cfg, nullptr, relaxed).get();
+  EXPECT_EQ(fine.status, JobStatus::kOk);
+  EXPECT_TRUE(fine.success);
+}
+
+TEST(ProofService, HigherPriorityJobsDispatchFirst) {
+  auto log = std::make_shared<std::vector<std::string>>();
+  auto mu = std::make_shared<std::mutex>();
+  auto problems = four_problems();
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.redundancy = 2.0;
+
+  ProofService service({.num_workers = 1});
+  // Blockers keep the single worker busy while low/high sit queued
+  // (the worker may race ahead and grab one of them as its very first
+  // task — which is why only the high-before-low order is asserted).
+  std::vector<std::future<RunReport>> blockers;
+  for (int i = 0; i < 3; ++i) {
+    blockers.push_back(service.submit(
+        std::make_shared<TaggedProblem>(problems[0], "blocker", log, mu),
+        cfg));
+  }
+  auto low = std::make_shared<TaggedProblem>(problems[1], "low", log, mu);
+  auto high = std::make_shared<TaggedProblem>(problems[2], "high", log, mu);
+  auto f_low = service.submit(low, cfg, nullptr, SubmitOptions{.priority = 0});
+  auto f_high =
+      service.submit(high, cfg, nullptr, SubmitOptions{.priority = 7});
+  for (auto& f : blockers) ASSERT_TRUE(f.get().success);
+  ASSERT_TRUE(f_low.get().success);
+  ASSERT_TRUE(f_high.get().success);
+
+  auto first_of = [&](const std::string& tag) {
+    for (std::size_t i = 0; i < log->size(); ++i) {
+      if ((*log)[i] == tag) return i;
+    }
+    return log->size();
+  };
+  EXPECT_LT(first_of("high"), first_of("low"));
+}
+
+// Problem whose evaluators throw: job failures must surface through
+// the submitter's future, not kill a worker thread.
+class ThrowingProblem final : public CamelotProblem {
+ public:
+  explicit ThrowingProblem(std::shared_ptr<const CamelotProblem> inner)
+      : inner_(std::move(inner)) {}
+  std::string name() const override { return inner_->name(); }
+  ProofSpec spec() const override { return inner_->spec(); }
+  std::unique_ptr<Evaluator> make_evaluator(const FieldOps&) const override {
+    throw std::runtime_error("ThrowingProblem: evaluator construction");
+  }
+  std::vector<u64> recover(const Poly& proof,
+                           const PrimeField& f) const override {
+    return inner_->recover(proof, f);
+  }
+
+ private:
+  std::shared_ptr<const CamelotProblem> inner_;
+};
+
+TEST(ProofService, JobExceptionsPropagateThroughFuture) {
+  ProofService service({.num_workers = 2});
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  auto problems = four_problems();
+
+  auto bad = std::make_shared<ThrowingProblem>(problems[0]);
+  EXPECT_THROW(service.submit(bad, cfg).get(), std::runtime_error);
+  // The worker survived; healthy jobs still serve.
+  EXPECT_TRUE(service.submit(problems[0], cfg).get().success);
+  const ProofService::Stats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ProofService, SharesCodeCacheAcrossJobs) {
+  ProofService service({.num_workers = 2});
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  auto problems = four_problems();
+
+  RunReport first = service.submit(problems[0], cfg).get();
+  ASSERT_TRUE(first.success);
+  const CodeCache::Stats cold = service.code_cache()->stats();
+  EXPECT_GT(cold.misses, 0u);
+
+  // A spec-identical job (same problem resubmitted) reuses every
+  // (prime, d, e) code: no new tree builds.
+  RunReport second = service.submit(problems[0], cfg).get();
+  ASSERT_TRUE(second.success);
+  const CodeCache::Stats warm = service.code_cache()->stats();
+  EXPECT_EQ(warm.misses, cold.misses);
+  EXPECT_GE(warm.hits, cold.hits + cold.misses);
+  ASSERT_EQ(first.answers.size(), second.answers.size());
+  for (std::size_t a = 0; a < first.answers.size(); ++a) {
+    EXPECT_EQ(first.answers[a], second.answers[a]);
+  }
 }
 
 }  // namespace
