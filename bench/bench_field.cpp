@@ -20,6 +20,7 @@
 #include "field/montgomery.hpp"
 #include "field/montgomery_simd.hpp"
 #include "field/primes.hpp"
+#include "poly/fast_div.hpp"
 #include "poly/multipoint.hpp"
 #include "poly/ntt.hpp"
 #include "poly/poly.hpp"
@@ -160,7 +161,7 @@ double ns_per_op(Fn&& fn, double min_seconds = g_min_seconds) {
 }
 
 struct Entry {
-  const char* name;
+  std::string name;  // owned: the sweep entries build names at runtime
   const char* before_key;
   const char* after_key;
   double before_ns;
@@ -306,6 +307,86 @@ int main(int argc, char** argv) {
                        "cached_ns_per_op", before, after});
   }
 
+  // --- Newton-inverse fast division vs schoolbook elimination -------------
+  // One divrem at dividend degree 2d-1 / divisor degree d — the shape
+  // of a top-level tree descent step and of a large Gao EEA quotient.
+  // Both sides run the Montgomery backend with cached twiddles; only
+  // the division algorithm differs (bit-identical results).
+  {
+    FieldCache cache;
+    for (std::size_t d : {1024u, 4096u}) {
+      const FieldOps ops = cache.ops(q, 4 * d, FieldBackend::kMontgomery);
+      const MontgomeryField& mm = ops.mont();
+      const auto random_coeffs = [&](std::size_t len) {
+        std::vector<u64> c(len);
+        for (auto& v : c) v = rng() % q;
+        c.back() = 1 + rng() % (q - 1);  // nonzero leading coefficient
+        return c;
+      };
+      Poly a = Poly{mm.to_mont_vec(random_coeffs(2 * d))};
+      Poly b = Poly{mm.to_mont_vec(random_coeffs(d + 1))};
+      const NttTables* tables = ops.ntt_tables().get();
+      const double before = ns_per_op([&] {
+        Poly qq, rr;
+        poly_divrem(a, b, mm, &qq, &rr);
+        g_sink = rr.coeff(0);
+        return 1.0;
+      });
+      const double after = ns_per_op([&] {
+        Poly qq, rr;
+        poly_divrem_fast(a, b, mm, &qq, &rr, tables);
+        g_sink = rr.coeff(0);
+        return 1.0;
+      });
+      entries.push_back({"fastdiv_d" + std::to_string(d), "schoolbook_ns",
+                         "fastdiv_ns", before, after});
+    }
+  }
+
+  // --- multipoint evaluation / interpolation: descent A/B sweep -----------
+  // The same tree inputs evaluated through trees built with the fast
+  // descent disabled (crossover = infinity: schoolbook elimination at
+  // every node) vs enabled (default crossover: cached Newton inverses
+  // above it). The ratio must grow with the degree — that is the
+  // O(d^2) -> O(d log^2 d) claim in measurable form.
+  {
+    FieldCache cache;
+    for (std::size_t n : {1024u, 4096u, 16384u}) {
+      const FieldOps ops = cache.ops(q, 2 * n, FieldBackend::kMontgomery);
+      std::vector<u64> pts(n);
+      std::iota(pts.begin(), pts.end(), u64{1});
+      Poly p;
+      p.c.resize(n);
+      for (auto& v : p.c) v = rng() % q;
+      std::vector<u64> vals(n);
+      for (auto& v : vals) v = rng() % q;
+      set_fastdiv_crossover(std::size_t{1} << 30);
+      const SubproductTree tree_slow(pts, ops);
+      set_fastdiv_crossover(0);  // default
+      const SubproductTree tree_fast(pts, ops);
+      const auto add = [&](std::string name, double before, double after) {
+        entries.push_back({std::move(name), "schoolbook_ns", "fastdiv_ns",
+                           before, after});
+      };
+      add("multipoint_fast_d" + std::to_string(n), ns_per_op([&] {
+            g_sink = tree_slow.evaluate(p, f)[0];
+            return 1.0;
+          }),
+          ns_per_op([&] {
+            g_sink = tree_fast.evaluate(p, f)[0];
+            return 1.0;
+          }));
+      add("interp_fast_d" + std::to_string(n), ns_per_op([&] {
+            g_sink = tree_slow.interpolate(vals, f).coeff(0);
+            return 1.0;
+          }),
+          ns_per_op([&] {
+            g_sink = tree_fast.interpolate(vals, f).coeff(0);
+            return 1.0;
+          }));
+    }
+  }
+
   // --- AVX2 backend vs scalar Montgomery ----------------------------------
   // Measured on a *narrow* NTT prime (q < 2^31, the 5-vpmuludq
   // double-REDC32 path): the framework's CRT primes are chosen just
@@ -413,15 +494,18 @@ int main(int argc, char** argv) {
     std::fprintf(out,
                  "    \"%s\": {\"%s\": %.2f, \"%s\": %.2f, "
                  "\"speedup\": %.2f}%s\n",
-                 e.name, e.before_key, e.before_ns, e.after_key, e.after_ns,
-                 e.before_ns / e.after_ns, i + 1 < entries.size() ? "," : "");
+                 e.name.c_str(), e.before_key, e.before_ns, e.after_key,
+                 e.after_ns,
+                 e.before_ns / e.after_ns,
+                 i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(out, "  }\n}\n");
   std::fclose(out);
 
   for (const Entry& e : entries) {
     std::printf("%-16s before %10.2f ns/op   after %10.2f ns/op   %.2fx\n",
-                e.name, e.before_ns, e.after_ns, e.before_ns / e.after_ns);
+                e.name.c_str(), e.before_ns, e.after_ns,
+                e.before_ns / e.after_ns);
   }
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

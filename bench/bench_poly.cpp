@@ -5,6 +5,7 @@
 #include <random>
 
 #include "field/primes.hpp"
+#include "poly/fast_div.hpp"
 #include "poly/lagrange.hpp"
 #include "poly/multipoint.hpp"
 #include "poly/ntt.hpp"
@@ -66,6 +67,49 @@ void BM_MulNttMontDomain(benchmark::State& state) {
 }
 BENCHMARK(BM_MulNttMontDomain)->Range(64, 16384);
 
+void BM_DivremSchoolbook(benchmark::State& state) {
+  // Classical row elimination at the tree-descent shape (deg a =
+  // 2 deg b - 1): the quadratic baseline of the fast division.
+  PrimeField f(find_ntt_prime(1 << 20, 20));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Poly a = random_poly(2 * n - 1, f, 1), b = random_poly(n, f, 2);
+  for (auto _ : state) {
+    Poly q, r;
+    poly_divrem(a, b, f, &q, &r);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DivremSchoolbook)->Range(256, 4096)->Complexity();
+
+void BM_DivremFast(benchmark::State& state) {
+  // Newton-inverse reverse-trick division on the same operands —
+  // fastdiv_ns in BENCH_field.json tracks the committed ratio.
+  PrimeField f(find_ntt_prime(1 << 20, 20));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Poly a = random_poly(2 * n - 1, f, 1), b = random_poly(n, f, 2);
+  for (auto _ : state) {
+    Poly q, r;
+    poly_divrem_fast(a, b, f, &q, &r);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DivremFast)->Range(256, 16384)->Complexity();
+
+void BM_InverseSeries(benchmark::State& state) {
+  // The Newton iteration on its own (what a tree build pays per node,
+  // amortized away by the CodeCache across sessions).
+  PrimeField f(find_ntt_prime(1 << 20, 20));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Poly a = random_poly(n, f, 3);
+  a.c[0] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly_inverse_series(a, n, f));
+  }
+}
+BENCHMARK(BM_InverseSeries)->Range(256, 16384);
+
 void BM_MultipointEvaluate(benchmark::State& state) {
   PrimeField f(find_ntt_prime(1 << 20, 20));
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -77,7 +121,7 @@ void BM_MultipointEvaluate(benchmark::State& state) {
     benchmark::DoNotOptimize(tree.evaluate(p, f));
   }
 }
-BENCHMARK(BM_MultipointEvaluate)->Range(64, 4096);
+BENCHMARK(BM_MultipointEvaluate)->Range(64, 16384);
 
 void BM_Interpolate(benchmark::State& state) {
   PrimeField f(find_ntt_prime(1 << 20, 20));
@@ -91,7 +135,7 @@ void BM_Interpolate(benchmark::State& state) {
     benchmark::DoNotOptimize(tree.interpolate(vals, f));
   }
 }
-BENCHMARK(BM_Interpolate)->Range(64, 4096);
+BENCHMARK(BM_Interpolate)->Range(64, 16384);
 
 void BM_LagrangeBasisConsecutive(benchmark::State& state) {
   // The factorial trick of §5.3: all R basis values in O(R).

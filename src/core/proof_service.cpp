@@ -65,10 +65,10 @@ void ProofService::worker_loop() {
 
 void ProofService::run_task(const Task& task) {
   Job& job = *task.job;
-  // A settled job's remaining tasks are no-ops (it expired, or a
-  // concurrent task already finished it).
-  if (job.settled.load(std::memory_order_acquire)) return;
-  if (job.has_deadline && std::chrono::steady_clock::now() > job.deadline) {
+  // Settles `job` as kDeadlineExpired if no other task settled it
+  // first (shared by the queued-expiry check and the in-flight
+  // cancellation path).
+  const auto settle_expired = [this, &job] {
     if (!job.settled.exchange(true)) {
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -79,10 +79,29 @@ void ProofService::run_task(const Task& task) {
       report.status = JobStatus::kDeadlineExpired;
       job.promise.set_value(std::move(report));
     }
+  };
+  // A settled job's remaining tasks are no-ops (it expired, or a
+  // concurrent task already finished it).
+  if (job.settled.load(std::memory_order_acquire)) return;
+  if (job.has_deadline && std::chrono::steady_clock::now() > job.deadline) {
+    settle_expired();
     return;
   }
   try {
-    job.session->run_prime_streaming(task.prime_index, *job.channel);
+    // The cancel probe reaches the session's chunk boundaries: an
+    // expired deadline (or a sibling task settling the job — failure
+    // or expiry) aborts this prime mid-flight instead of finishing
+    // work the submitter can no longer observe.
+    Job* jp = &job;
+    SessionCancelFn cancel = [jp] {
+      return jp->settled.load(std::memory_order_acquire) ||
+             (jp->has_deadline &&
+              std::chrono::steady_clock::now() > jp->deadline);
+    };
+    job.session->run_prime_streaming(task.prime_index, *job.channel, cancel);
+  } catch (const SessionCancelled&) {
+    settle_expired();
+    return;
   } catch (...) {
     // A throwing evaluator/problem must reach the submitter through
     // its future (as the pre-streaming packaged_task delivered it),
@@ -192,8 +211,11 @@ std::future<RunReport> ProofService::submit(
       ++pending_jobs_;
       const std::uint64_t seq = next_seq_++;
       for (std::size_t pi = 0; pi < num_primes; ++pi) {
-        tasks_.push(Task{options.priority, seq, pi, job});
+        tasks_.push(Task{options.priority, seq, job->has_deadline,
+                         job->deadline, pi, job});
       }
+      stats_.queue_depth_high_water =
+          std::max(stats_.queue_depth_high_water, tasks_.size());
     }
   }
   if (rejected) {
@@ -208,8 +230,16 @@ std::future<RunReport> ProofService::submit(
 }
 
 ProofService::Stats ProofService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  // Cache snapshots are taken outside mu_ (each cache has its own
+  // lock; nesting them under mu_ would order the locks needlessly).
+  out.field_cache = cache_->stats();
+  out.code_cache = codes_->stats();
+  return out;
 }
 
 }  // namespace camelot

@@ -69,13 +69,17 @@ struct ProofServiceConfig {
 
 // Per-job scheduling knobs for ProofService::submit.
 struct SubmitOptions {
-  // Higher-priority jobs' tasks are scheduled first; equal priorities
-  // run FIFO by submission.
+  // Higher-priority jobs' tasks are scheduled first. Within a
+  // priority, tasks run earliest-deadline-first (a job without a
+  // deadline sorts as deadline = infinity), and FIFO by submission
+  // order when deadlines tie or no job in the queue carries one.
   int priority = 0;
   // Zero = no deadline. Measured from submit() on the steady clock; a
   // job that has not finished when its deadline passes resolves with
-  // JobStatus::kDeadlineExpired (checked whenever one of its tasks
-  // reaches a worker).
+  // JobStatus::kDeadlineExpired — checked when one of its tasks
+  // reaches a worker *and* at every chunk boundary of its in-flight
+  // primes (SessionCancelled propagation), so an expired job stops
+  // burning workers mid-prime.
   std::chrono::milliseconds deadline{0};
 };
 
@@ -111,9 +115,17 @@ class ProofService {
     std::size_t submitted = 0;  // admitted jobs (excludes rejections)
     std::size_t completed = 0;  // jobs that ran to completion
     std::size_t rejected = 0;   // bounded-queue rejections
-    std::size_t expired = 0;    // deadline expiries
+    std::size_t expired = 0;    // deadline expiries (queued or in-flight)
     std::size_t plan_cache_hits = 0;
     std::size_t plan_cache_misses = 0;
+    // Largest number of per-prime tasks ever resident in the queue —
+    // the capacity-planning signal for num_workers/max_pending_jobs.
+    std::size_t queue_depth_high_water = 0;
+    // Snapshots of the shared caches (same objects reachable through
+    // field_cache()/code_cache(), surfaced here so one stats() call
+    // is a complete metrics scrape).
+    FieldCache::Stats field_cache;
+    CodeCache::Stats code_cache;
   };
   Stats stats() const;
 
@@ -122,14 +134,22 @@ class ProofService {
   struct Task {
     int priority = 0;
     std::uint64_t seq = 0;  // admission order (FIFO within priority)
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
     std::size_t prime_index = 0;
     std::shared_ptr<Job> job;
   };
   struct TaskOrder {
     bool operator()(const Task& a, const Task& b) const {
-      // priority_queue pops the *largest*: highest priority first,
-      // then earliest admission, then ascending prime index.
+      // priority_queue pops the *largest*: highest priority first;
+      // within a priority, earliest deadline first (no deadline =
+      // infinitely late, so a pure-FIFO workload stays FIFO); then
+      // earliest admission, then ascending prime index.
       if (a.priority != b.priority) return a.priority < b.priority;
+      if (a.has_deadline != b.has_deadline) return !a.has_deadline;
+      if (a.has_deadline && a.deadline != b.deadline) {
+        return a.deadline > b.deadline;
+      }
       if (a.seq != b.seq) return a.seq > b.seq;
       return a.prime_index > b.prime_index;
     }

@@ -91,7 +91,7 @@ ProofSession::ProofSession(const CamelotProblem& problem, ClusterConfig config,
       config_(config),
       spec_(problem.spec()),
       cache_(cache != nullptr ? std::move(cache) : FieldCache::global()),
-      codes_(std::move(codes)) {
+      codes_(codes != nullptr ? std::move(codes) : CodeCache::global()) {
   if (config_.num_nodes == 0) {
     throw std::invalid_argument("ProofSession: need at least one node");
   }
@@ -160,11 +160,9 @@ void ProofSession::invalidate_downstream(PrimeState& st,
 
 void ProofSession::ensure_code(PrimeState& st) {
   if (st.code != nullptr) return;
-  const std::size_t e = plan_->code_length;
-  st.code = codes_ != nullptr
-                ? codes_->code(st.ops, spec_.degree_bound, e)
-                : std::make_shared<const ReedSolomonCode>(
-                      st.ops, spec_.degree_bound, e);
+  // codes_ is never null (CodeCache::global() is the fallback), so
+  // every session shares the inverse-enriched trees.
+  st.code = codes_->code(st.ops, spec_.degree_bound, plan_->code_length);
 }
 
 std::pair<std::size_t, std::vector<u64>> ProofSession::compute_node_chunk(
@@ -429,7 +427,8 @@ void ProofSession::finalize_prime_stream(PrimeState& st,
 }
 
 void ProofSession::run_prime_streaming(std::size_t prime_index,
-                                       const StreamingSymbolChannel& channel) {
+                                       const StreamingSymbolChannel& channel,
+                                       const SessionCancelFn& cancel) {
   WallTimer wt(&wall_seconds_);
   PrimeState& st = state_at(prime_index);
   const std::size_t k = config_.num_nodes;
@@ -448,6 +447,9 @@ void ProofSession::run_prime_streaming(std::size_t prime_index,
   auto worker = [&]() {
     try {
       while (!errors.failed()) {
+        // Chunk boundary: an expired deadline stops this prime here
+        // instead of computing (and absorbing) the remaining chunks.
+        if (cancel && cancel()) throw SessionCancelled();
         const std::size_t j = next_node.fetch_add(1);
         if (j >= k) break;
         auto [lo, values] = compute_node_chunk(st, j);
@@ -476,12 +478,20 @@ void ProofSession::run_prime_streaming(std::size_t prime_index,
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
-  errors.rethrow_if_any();
+  try {
+    errors.rethrow_if_any();
 
-  // Drain the tail: a rate-limited stream releases a bounded number of
-  // symbols per poll, so keep polling until it reports exhaustion.
-  while (!stream->exhausted()) {
-    if (auto c = stream->poll()) decoder.absorb(c->offset, c->symbols);
+    // Drain the tail: a rate-limited stream releases a bounded number
+    // of symbols per poll, so keep polling until it reports exhaustion
+    // — checking the deadline between absorbs (a rate-limited stream
+    // can hold a prime here for a long time).
+    while (!stream->exhausted()) {
+      if (cancel && cancel()) throw SessionCancelled();
+      if (auto c = stream->poll()) decoder.absorb(c->offset, c->symbols);
+    }
+  } catch (const SessionCancelled&) {
+    reset_prime(prime_index);  // leave no half-prepared stage behind
+    throw;
   }
   finalize_prime_stream(st, decoder);
 }

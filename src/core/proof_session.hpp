@@ -29,9 +29,11 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 
 #include "core/byzantine.hpp"
@@ -98,13 +100,31 @@ class AdversarialChannel final : public SymbolChannel {
   const ByzantineAdversary& adversary_;
 };
 
+// Thrown by run_prime_streaming when its cancel callback reports
+// expiry at a chunk boundary: the in-flight prime aborts instead of
+// finishing work whose job has already been discarded. The prime's
+// state is reset to kCreated before the throw, so the session stays
+// usable (e.g. for a selective re-run with a fresh budget).
+class SessionCancelled : public std::runtime_error {
+ public:
+  SessionCancelled()
+      : std::runtime_error(
+            "ProofSession: prime pipeline cancelled mid-flight") {}
+};
+
+// Cooperative cancellation probe, polled at chunk compute/absorb
+// boundaries. Must be cheap and thread-safe; returning true aborts.
+using SessionCancelFn = std::function<bool()>;
+
 class ProofSession {
  public:
   // The problem must outlive the session. `cache` defaults to
   // FieldCache::global(); `plan` lets a ProofService inject a cached
-  // PrimePlan (nullptr recomputes it from the spec); `codes` lets it
-  // share built ReedSolomonCode instances across jobs (nullptr builds
-  // per-session codes, as a stand-alone session always did).
+  // PrimePlan (nullptr recomputes it from the spec); `codes` lets a
+  // service share built ReedSolomonCode instances across jobs
+  // (nullptr now falls back to CodeCache::global(), so stand-alone
+  // sessions reuse the inverse-enriched subproduct trees across
+  // invocations too).
   ProofSession(const CamelotProblem& problem, ClusterConfig config,
                std::shared_ptr<FieldCache> cache = nullptr,
                std::shared_ptr<const PrimePlan> plan = nullptr,
@@ -151,9 +171,14 @@ class ProofSession {
   // -> recover) driven through `channel` on the calling thread (plus
   // config.num_threads node workers when > 1). Safe to call
   // concurrently for *distinct* primes of one session — this is the
-  // unit the ProofService scheduler steals across jobs.
+  // unit the ProofService scheduler steals across jobs. `cancel`,
+  // when set, is polled at every chunk compute/absorb boundary; once
+  // it returns true the prime resets to kCreated and the call throws
+  // SessionCancelled — this is how an expired job's deadline reaches
+  // *in-flight* primes instead of only unstarted ones.
   void run_prime_streaming(std::size_t prime_index,
-                           const StreamingSymbolChannel& channel);
+                           const StreamingSymbolChannel& channel,
+                           const SessionCancelFn& cancel = nullptr);
 
   // ---- Per-prime stages (selective re-run) ------------------------------
   // Preconditions are checked: each stage requires the prime to have
@@ -233,7 +258,7 @@ class ProofSession {
   ClusterConfig config_;
   ProofSpec spec_;
   std::shared_ptr<FieldCache> cache_;
-  std::shared_ptr<CodeCache> codes_;  // may be null (private builds)
+  std::shared_ptr<CodeCache> codes_;  // never null (global() fallback)
   std::shared_ptr<const PrimePlan> plan_;
   std::vector<std::size_t> owners_;  // symbol index -> owning node
   std::vector<PrimeState> primes_;

@@ -82,7 +82,9 @@ FieldOps FieldCache::ops(u64 prime, std::size_t min_ntt_size,
 
 FieldCache::Stats FieldCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.resident = mont_.size();
+  return out;
 }
 
 const std::shared_ptr<FieldCache>& FieldCache::global() {

@@ -55,6 +55,10 @@ class FieldCache {
     std::size_t mont_misses = 0;
     std::size_t ntt_hits = 0;
     std::size_t ntt_misses = 0;  // includes capacity-growth rebuilds
+    // Primes currently resident (gauge, not a counter) — exported
+    // through ProofService::Stats for capacity planning against
+    // max_primes.
+    std::size_t resident = 0;
   };
   Stats stats() const;
 

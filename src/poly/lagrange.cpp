@@ -32,12 +32,25 @@ ConsecutiveLagrange::ConsecutiveLagrange(u64 start, std::size_t count,
     i_m = m_.add(i_m, m_.one());  // Montgomery form of i
     fact[i] = m_.mul(fact[i - 1], i_m);
   }
-  // Point-independent denominator parts, inverted once.
+  // Point-independent denominator parts, inverted once. Under the
+  // AVX2 backend the factorial cross products run on lanes (same
+  // words — lane REDC is bit-identical to scalar); the alternating
+  // sign stays a scalar pass either way.
   std::vector<u64> w(count);
+  if (simd_) {
+    std::vector<u64> rev_fact(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      rev_fact[i] = fact[count - 1 - i];
+    }
+    MontgomeryAvx2Field(m_).mul_vec(fact.data(), rev_fact.data(), w.data(),
+                                    count);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      w[i] = m_.mul(fact[i], fact[count - 1 - i]);
+    }
+  }
   for (std::size_t i = 0; i < count; ++i) {
-    u64 d = m_.mul(fact[i], fact[count - 1 - i]);
-    if ((count - 1 - i) % 2 == 1) d = m_.neg(d);
-    w[i] = d;
+    if ((count - 1 - i) % 2 == 1) w[i] = m_.neg(w[i]);
   }
   inv_w_ = m_.batch_inv(w);
 }

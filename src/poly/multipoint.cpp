@@ -2,14 +2,17 @@
 
 #include <stdexcept>
 
+#include "poly/fast_div.hpp"
+
 namespace camelot {
 
 SubproductTree::SubproductTree(std::span<const u64> points,
-                               const FieldOps& f)
+                               const FieldOps& f, std::size_t crossover)
     : points_(points.begin(), points.end()),
       mont_(f.mont()),
       ntt_(f.ntt_tables()),
-      simd_(f.simd()) {
+      simd_(f.simd()),
+      crossover_(crossover != 0 ? crossover : fastdiv_crossover()) {
   if (points_.empty()) {
     throw std::invalid_argument("SubproductTree: no points");
   }
@@ -33,6 +36,7 @@ SubproductTree::SubproductTree(std::span<const u64> points,
     }
     levels_.push_back(std::move(next));
   }
+  build_inverses();
   root_plain_ = Poly{mont_.from_mont_vec(levels_.back()[0].c)};
 }
 
@@ -52,16 +56,52 @@ Poly SubproductTree::mul(const Poly& a, const Poly& b) const {
 
 const Poly& SubproductTree::root_mont() const { return levels_.back()[0]; }
 
+void SubproductTree::build_inverses() {
+  // Precision contract: a division by node (level, idx) happens with a
+  // dividend already reduced modulo its parent, so the quotient has at
+  // most deg(parent) - deg(node) = deg(sibling) coefficients. The
+  // descent divides by every *paired* node, so those inverses are
+  // precomputed eagerly; the root is only ever divided by when a
+  // caller shows up with a dividend of degree >= num_points (the RS
+  // pipeline never does — message and derivative degrees stay below
+  // it), so its inverse — the single most expensive one — is built
+  // lazily in node_rem instead.
+  inv_levels_.resize(levels_.size());
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    inv_levels_[l].resize(levels_[l].size());
+  }
+  for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
+    for (std::size_t i = 0; i < levels_[l].size(); ++i) {
+      if ((i ^ 1) >= levels_[l].size()) {
+        continue;  // single child carried up: the descent never divides
+      }
+      const Poly& node = levels_[l][i];
+      const auto deg = static_cast<std::size_t>(node.degree());
+      // Paired node: the longest quotient is the sibling's degree.
+      const auto prec =
+          static_cast<std::size_t>(levels_[l][i ^ 1].degree());
+      if (deg < crossover_ || prec < kFastDivMinQuotient) continue;
+      Poly rev;
+      rev.c.assign(node.c.rbegin(), node.c.rend());
+      inv_levels_[l][i] =
+          simd_ ? poly_inverse_series(rev, prec, MontgomeryAvx2Field(mont_),
+                                      ntt_.get())
+                : poly_inverse_series(rev, prec, mont_, ntt_.get());
+      ++fast_nodes_;
+    }
+  }
+}
+
 namespace {
 
 // In-place remainder modulo a *monic* divisor (every tree node is a
 // product of monic linears). Skips the quotient, the leading-
 // coefficient inversion and all Poly wrapper churn of the generic
-// poly_divrem — this is the hot inner loop of tree descent. With
-// `simd` the row elimination runs on AVX2 lanes (same multiplication
-// sequence, so the remainder words are bit-identical); rows shorter
-// than two vectors stay on the scalar loop, where call overhead would
-// dominate.
+// poly_divrem — this is the hot inner loop of tree descent below the
+// fast-division crossover. With `simd` the row elimination runs on
+// AVX2 lanes (same multiplication sequence, so the remainder words
+// are bit-identical); rows shorter than two vectors stay on the
+// scalar loop, where call overhead would dominate.
 void monic_rem_inplace(std::vector<u64>& r, const std::vector<u64>& b,
                        const MontgomeryField& mref, bool simd) {
   const std::size_t db = b.size() - 1;  // deg b; b.back() == one()
@@ -92,6 +132,62 @@ void monic_rem_inplace(std::vector<u64>& r, const std::vector<u64>& b,
 
 }  // namespace
 
+void SubproductTree::node_rem(std::vector<u64>& r, std::size_t level,
+                              std::size_t idx) const {
+  const Poly& b = levels_[level][idx];
+  const std::size_t db = b.c.size() - 1;
+  while (!r.empty() && r.back() == 0) r.pop_back();
+  if (r.size() <= db) return;  // nothing to eliminate
+  const std::size_t k = r.size() - db;
+  const Poly* inv = nullptr;
+  if (db >= crossover_ && k >= kFastDivMinQuotient) {
+    if (level + 1 == levels_.size()) {
+      // Root: built on the first oversized dividend (see
+      // build_inverses); call_once keeps the lazy build safe on
+      // const trees shared across sessions.
+      std::call_once(root_inv_once_, [this, db] {
+        const Poly& root = levels_.back()[0];
+        Poly rev;
+        rev.c.assign(root.c.rbegin(), root.c.rend());
+        root_inv_ =
+            simd_ ? poly_inverse_series(rev, db, MontgomeryAvx2Field(mont_),
+                                        ntt_.get())
+                  : poly_inverse_series(rev, db, mont_, ntt_.get());
+      });
+      inv = &root_inv_;
+    } else if (!inv_levels_[level][idx].c.empty()) {
+      inv = &inv_levels_[level][idx];
+    }
+  }
+  if (inv == nullptr) {
+    monic_rem_inplace(r, b.c, mont_, simd_);
+    return;
+  }
+  if (inv->c.size() < k) {
+    // Oversized dividend (only possible at the root): extend the
+    // cached prefix by Newton steps instead of starting over.
+    Poly rev;
+    rev.c.assign(b.c.rbegin(), b.c.rend());
+    const Poly ext =
+        simd_ ? poly_inverse_series(rev, k, MontgomeryAvx2Field(mont_),
+                                    ntt_.get(), inv)
+              : poly_inverse_series(rev, k, mont_, ntt_.get(), inv);
+    if (simd_) {
+      monic_rem_fast_inplace(r, b.c, ext, MontgomeryAvx2Field(mont_),
+                             ntt_.get());
+    } else {
+      monic_rem_fast_inplace(r, b.c, ext, mont_, ntt_.get());
+    }
+    return;
+  }
+  if (simd_) {
+    monic_rem_fast_inplace(r, b.c, *inv, MontgomeryAvx2Field(mont_),
+                           ntt_.get());
+  } else {
+    monic_rem_fast_inplace(r, b.c, *inv, mont_, ntt_.get());
+  }
+}
+
 void SubproductTree::eval_rec(std::vector<u64>& r, std::size_t level,
                               std::size_t idx, std::size_t lo, std::size_t hi,
                               std::vector<u64>& out) const {
@@ -111,16 +207,16 @@ void SubproductTree::eval_rec(std::vector<u64>& r, std::size_t level,
     return;
   }
   std::vector<u64> rl = r;
-  monic_rem_inplace(rl, child_level[left].c, mont_, simd_);
+  node_rem(rl, level - 1, left);
   eval_rec(rl, level - 1, left, lo, mid, out);
-  monic_rem_inplace(r, child_level[right].c, mont_, simd_);
+  node_rem(r, level - 1, right);
   eval_rec(r, level - 1, right, mid, hi, out);
 }
 
 std::vector<u64> SubproductTree::evaluate_mont(const Poly& p_mont) const {
   std::vector<u64> out(points_.size(), 0);
   std::vector<u64> r = p_mont.c;
-  monic_rem_inplace(r, root_mont().c, mont_, simd_);
+  node_rem(r, levels_.size() - 1, 0);
   eval_rec(r, levels_.size() - 1, 0, 0, points_.size(), out);
   return out;
 }

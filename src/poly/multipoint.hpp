@@ -12,9 +12,21 @@
 // (e.g. the Gao decoder) never leaves it. When the backend handle
 // names the AVX2 backend, the node products and the descent's
 // remainder eliminations run on 4xu64 lanes (bit-identical values).
+//
+// Since the quasi-linear engine landed (poly/fast_div.hpp), the build
+// also precomputes a Newton power-series inverse of every large
+// node's reversed polynomial. The evaluation descent (and through it
+// the interpolation's denominator pass) then replaces the schoolbook
+// elimination with two truncated products per node — true
+// O(d log^2 d) — above the fastdiv_crossover() divisor degree, and
+// keeps the AVX2 schoolbook rows below it where constants win. The
+// inverses are per-(prime, point-set) state that lives *in* the tree,
+// so a CodeCache/FieldCache-shared tree amortizes them across every
+// session and job that decodes against the same code.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -32,8 +44,13 @@ class SubproductTree {
   // Takes the field backend handle (a bare PrimeField converts
   // implicitly). When the handle carries FieldCache twiddle tables,
   // the tree's large node products run through them instead of
-  // re-powering the NTT stage roots.
-  SubproductTree(std::span<const u64> points, const FieldOps& f);
+  // re-powering the NTT stage roots. `crossover` pins the fast-
+  // division crossover this tree is built for (0 = read the process
+  // setting, fastdiv_crossover()); callers that key cached trees by
+  // crossover pass the keyed value so a later global override cannot
+  // produce a mixed configuration.
+  SubproductTree(std::span<const u64> points, const FieldOps& f,
+                 std::size_t crossover = 0);
 
   std::size_t num_points() const noexcept { return points_.size(); }
   const std::vector<u64>& points() const noexcept { return points_; }
@@ -44,6 +61,13 @@ class SubproductTree {
   const Poly& root() const noexcept { return root_plain_; }
   // Same polynomial with Montgomery-domain coefficients.
   const Poly& root_mont() const;
+
+  // Number of nodes whose Newton inverse was precomputed at build
+  // time (0 when every node sits below the fast-division crossover).
+  // The root's inverse is excluded: it is built lazily on the first
+  // dividend of degree >= num_points, which the RS pipeline never
+  // produces.
+  std::size_t fast_nodes() const noexcept { return fast_nodes_; }
 
   // Evaluates p at every point (going-down-the-tree remaindering).
   std::vector<u64> evaluate(const Poly& p, const PrimeField& f) const;
@@ -61,13 +85,33 @@ class SubproductTree {
   // result size, the generic poly_mul ladder otherwise.
   Poly mul(const Poly& a, const Poly& b) const;
 
+  // Newton inverses for every node the descent divides by at or above
+  // the crossover (fast_div.hpp); built once at construction.
+  void build_inverses();
+
+  // r := r mod node(level, idx), dispatching between the cached-
+  // inverse fast division and the schoolbook elimination. Leaves r
+  // with exactly deg(node) entries.
+  void node_rem(std::vector<u64>& r, std::size_t level,
+                std::size_t idx) const;
+
   // levels_[0] = leaves (x - x_i); levels_.back() = {root}; all
   // coefficients Montgomery-domain.
   std::vector<std::vector<Poly>> levels_;
+  // inv_levels_[l][i]: power-series inverse of the reversed node
+  // polynomial (precision = the longest quotient the descent can
+  // meet), empty for nodes below the crossover or never divided by.
+  std::vector<std::vector<Poly>> inv_levels_;
+  // Root inverse, built lazily on the first oversized dividend
+  // (call_once: trees are shared const across sessions and threads).
+  mutable std::once_flag root_inv_once_;
+  mutable Poly root_inv_;
   std::vector<u64> points_;       // canonical representatives
   MontgomeryField mont_;
   std::shared_ptr<const NttTables> ntt_;
   bool simd_;                     // resolved AVX2 backend selected
+  std::size_t crossover_;         // fastdiv_crossover() at build time
+  std::size_t fast_nodes_ = 0;
   Poly root_plain_;
 
   // Tree descent on a raw (Montgomery-domain) remainder vector; the

@@ -3,14 +3,22 @@
 #include <string>
 #include <utility>
 
+#include "poly/fast_div.hpp"
+
 namespace camelot {
 
 std::shared_ptr<const ReedSolomonCode> CodeCache::code(
     const FieldOps& ops, std::size_t degree_bound, std::size_t length) {
+  // The fastdiv crossover participates in the key: a SubproductTree
+  // bakes the crossover in at build time (which nodes carry Newton
+  // inverses), so a tree built under a different setting is
+  // value-identical but runs the wrong descent — an A/B sweep or a
+  // CAMELOT_FASTDIV_CROSSOVER override must not be served stale trees.
   std::string key = std::to_string(ops.prime().modulus()) + '/' +
                     std::to_string(degree_bound) + '/' +
                     std::to_string(length) + '/' +
-                    std::to_string(static_cast<int>(ops.backend()));
+                    std::to_string(static_cast<int>(ops.backend())) + '/' +
+                    std::to_string(fastdiv_crossover());
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = codes_.find(key);
@@ -39,7 +47,18 @@ std::shared_ptr<const ReedSolomonCode> CodeCache::code(
 
 CodeCache::Stats CodeCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.resident = codes_.size();
+  return out;
+}
+
+const std::shared_ptr<CodeCache>& CodeCache::global() {
+  // Tighter bound than a service's private cache: each entry owns a
+  // subproduct tree plus its Newton node inverses, and the global
+  // instance lives for the whole process.
+  static const std::shared_ptr<CodeCache> instance =
+      std::make_shared<CodeCache>(/*max_entries=*/32);
+  return instance;
 }
 
 }  // namespace camelot

@@ -45,8 +45,21 @@ class CodeCache {
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
+    // Codes currently resident (gauge): each entry owns a subproduct
+    // tree with its cached Newton node inverses, so this measures the
+    // precomputation the cache is amortizing.
+    std::size_t resident = 0;
   };
   Stats stats() const;
+
+  // Process-wide default cache (used by ProofSession when the caller
+  // does not inject one, mirroring FieldCache::global()). Since the
+  // subproduct trees now carry their per-node Newton inverses, a
+  // cached code is the unit that amortizes the whole quasi-linear
+  // engine's precomputation — sharing it by default means stand-alone
+  // sessions and one-shot Cluster::run calls reuse the enriched trees
+  // across invocations exactly like ProofService jobs do.
+  static const std::shared_ptr<CodeCache>& global();
 
  private:
   std::size_t max_entries_;

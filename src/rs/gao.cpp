@@ -1,5 +1,7 @@
 #include "rs/gao.hpp"
 
+#include "poly/fast_div.hpp"
+
 namespace camelot {
 
 namespace {
@@ -7,17 +9,20 @@ namespace {
 // The remainder-sequence core, templated over the backend exactly like
 // the poly kernels it drives. g0/g1 and the returned message are in
 // the backend's value domain; the caller handles boundary conversion.
+// Every quotient step (and the final exactness division) dispatches
+// through the Newton-inverse fast division when the operand degrees
+// warrant it, reusing the code's cached twiddle tables.
 template <class Field>
 bool gao_core(const Poly& g0, Poly g1, std::size_t e, std::size_t d,
-              const Field& f, Poly* message) {
+              const Field& f, Poly* message, const NttTables* tables) {
   // Stop when deg G < (e + d + 1) / 2.
   const int stop = static_cast<int>((e + d + 1) / 2);
   Poly g, u, v;
-  poly_xgcd_partial(g0, g1, stop, f, &g, &u, &v);
+  poly_xgcd_partial_fast(g0, g1, stop, f, &g, &u, &v, tables);
 
   Poly p, r;
   if (v.is_zero()) return false;
-  poly_divrem(g, v, f, &p, &r);
+  poly_divrem_auto(g, v, f, &p, &r, tables);
   if (!r.is_zero() || p.degree() > static_cast<int>(d)) {
     return false;  // decoding failure: too many errors
   }
@@ -69,14 +74,15 @@ GaoResult gao_decode_prepared(const ReedSolomonCode& code,
   // per-multiply cost) differs.
   Poly message;
   bool ok;
+  const NttTables* tables = ops.ntt_tables().get();
   if (backend == FieldBackend::kMontgomeryAvx2) {
     ok = gao_core(tree.root_mont(), std::move(g1), e, d,
-                  MontgomeryAvx2Field(ops.mont()), &message);
+                  MontgomeryAvx2Field(ops.mont()), &message, tables);
   } else if (montgomery) {
     ok = gao_core(tree.root_mont(), std::move(g1), e, d, ops.mont(),
-                  &message);
+                  &message, tables);
   } else {
-    ok = gao_core(tree.root(), std::move(g1), e, d, f, &message);
+    ok = gao_core(tree.root(), std::move(g1), e, d, f, &message, nullptr);
   }
   if (!ok) return out;
 

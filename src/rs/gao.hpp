@@ -32,9 +32,13 @@ struct GaoResult {
   std::vector<u64> corrected;
 };
 
-// Decodes `received` (length e) against the code. Runs in
-// O(e log^2 e) operations for the interpolation plus the classical
-// O(e^2) remainder sequence.
+// Decodes `received` (length e) against the code. The interpolation
+// and the re-encode both run on the subproduct tree's quasi-linear
+// descent (O(e log^2 e)); the Euclidean remainder sequence dispatches
+// each quotient step through Newton-inverse fast division
+// (poly/fast_div.hpp) — large steps are O(e log e), the many tiny
+// steps of a dense error pattern stay on the classical elimination
+// (a half-GCD remainder sequence is the queued follow-up).
 GaoResult gao_decode(const ReedSolomonCode& code,
                      std::span<const u64> received);
 

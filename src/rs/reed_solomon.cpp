@@ -3,6 +3,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "poly/fast_div.hpp"
+
 namespace camelot {
 
 namespace {
@@ -24,7 +26,10 @@ ReedSolomonCode::ReedSolomonCode(const FieldOps& f, std::size_t degree_bound,
 
 ReedSolomonCode::ReedSolomonCode(const FieldOps& f, std::size_t degree_bound,
                                  std::vector<u64> points)
-    : ops_(f), degree_bound_(degree_bound), points_(std::move(points)) {
+    : ops_(f),
+      degree_bound_(degree_bound),
+      points_(std::move(points)),
+      fastdiv_crossover_(fastdiv_crossover()) {
   if (points_.empty()) {
     throw std::invalid_argument("ReedSolomonCode: no points");
   }
@@ -33,7 +38,7 @@ ReedSolomonCode::ReedSolomonCode(const FieldOps& f, std::size_t degree_bound,
         "ReedSolomonCode: dimension d+1 exceeds code length e");
   }
   for (u64& p : points_) p = field().reduce(p);
-  tree_ = std::make_unique<SubproductTree>(points_, ops_);
+  tree_ = std::make_unique<SubproductTree>(points_, ops_, fastdiv_crossover_);
 }
 
 std::vector<u64> ReedSolomonCode::encode(const Poly& message) const {
@@ -45,6 +50,32 @@ std::vector<u64> ReedSolomonCode::encode(const Poly& message) const {
 
 std::vector<u64> ReedSolomonCode::evaluate_at_points(const Poly& p) const {
   return tree_->evaluate(p, field());
+}
+
+std::vector<u64> ReedSolomonCode::encode_systematic(
+    std::span<const u64> message_symbols) const {
+  if (message_symbols.size() != degree_bound_ + 1) {
+    throw std::invalid_argument(
+        "ReedSolomonCode::encode_systematic: need exactly d+1 symbols");
+  }
+  std::vector<u64> msg(message_symbols.begin(), message_symbols.end());
+  for (u64& v : msg) v = field().reduce(v);
+  if (msg.size() == points_.size()) {
+    return msg;  // rate-1 code: the message symbols are the codeword
+  }
+  std::call_once(msg_tree_once_, [this] {
+    msg_tree_ = std::make_unique<SubproductTree>(
+        std::span<const u64>(points_.data(), degree_bound_ + 1), ops_,
+        fastdiv_crossover_);
+  });
+  // Interpolate the unique degree-<=d extension through the message
+  // positions, then evaluate it everywhere; the message positions
+  // reproduce the inputs by construction.
+  const MontgomeryField& m = tree_->mont();
+  Poly p = msg_tree_->interpolate_mont(m.to_mont_vec(msg));
+  std::vector<u64> out = tree_->evaluate_mont(p);
+  m.from_mont_inplace(out);
+  return out;
 }
 
 Poly ReedSolomonCode::interpolate_received(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -48,6 +49,18 @@ class ReedSolomonCode {
   // Batch evaluation of the message polynomial at all points.
   std::vector<u64> encode(const Poly& message) const;
 
+  // Systematic encoding: the codeword whose first d+1 positions carry
+  // the message symbols verbatim (canonical representatives) and whose
+  // remaining e-d-1 positions carry the parity extension — the unique
+  // degree-<=d interpolant through the message positions, evaluated at
+  // the rest. Both halves run on the quasi-linear engine: the message
+  // subtree interpolation and the full-tree evaluation descent go
+  // through the cached Newton node inverses. The message subtree is
+  // built lazily (first call) and shared by later calls, so a cached
+  // code amortizes it across jobs exactly like the main tree.
+  std::vector<u64> encode_systematic(
+      std::span<const u64> message_symbols) const;
+
   // Values of an arbitrary polynomial at all points (shares the tree).
   std::vector<u64> evaluate_at_points(const Poly& p) const;
 
@@ -65,7 +78,16 @@ class ReedSolomonCode {
   FieldOps ops_;
   std::size_t degree_bound_;
   std::vector<u64> points_;
+  // Fast-division crossover captured at construction — the value the
+  // CodeCache keyed this instance under. The lazy message subtree is
+  // built with it, never with a later global override.
+  std::size_t fastdiv_crossover_;
   std::unique_ptr<SubproductTree> tree_;
+  // Subtree over the first d+1 points, built on first systematic
+  // encode (call_once keeps the lazy build safe on shared const
+  // instances handed out by the CodeCache).
+  mutable std::once_flag msg_tree_once_;
+  mutable std::unique_ptr<SubproductTree> msg_tree_;
 };
 
 }  // namespace camelot

@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/conv3sum.hpp"
@@ -18,6 +19,8 @@
 #include "apps/ov.hpp"
 #include "core/cluster.hpp"
 #include "core/proof_service.hpp"
+#include "core/proof_session.hpp"
+#include "core/symbol_stream.hpp"
 #include "linalg/tensor.hpp"
 
 namespace camelot {
@@ -66,6 +69,17 @@ TEST(ProofService, ServesFourDistinctProblemsConcurrently) {
   EXPECT_EQ(stats.completed, 4u);
   // Per-prime field state was populated in the shared cache.
   EXPECT_GT(service.field_cache()->stats().mont_misses, 0u);
+  // The metrics surface mirrors both shared caches and records the
+  // deepest queue: each submit pushes all of a job's prime tasks
+  // under one lock, so the high-water mark saw at least one job's
+  // worth of tasks.
+  EXPECT_EQ(stats.field_cache.mont_misses,
+            service.field_cache()->stats().mont_misses);
+  EXPECT_EQ(stats.code_cache.misses, service.code_cache()->stats().misses);
+  EXPECT_GT(stats.code_cache.misses, 0u);
+  EXPECT_GT(stats.code_cache.resident, 0u);
+  EXPECT_GT(stats.field_cache.resident, 0u);
+  EXPECT_GE(stats.queue_depth_high_water, 1u);
 }
 
 TEST(ProofService, CachesPlansAndFieldStateAcrossResubmission) {
@@ -88,6 +102,10 @@ TEST(ProofService, CachesPlansAndFieldStateAcrossResubmission) {
   EXPECT_EQ(field_warm.mont_misses, field_cold.mont_misses);
   EXPECT_EQ(field_warm.ntt_misses, field_cold.ntt_misses);
   EXPECT_GT(field_warm.mont_hits, field_cold.mont_hits);
+  // The aggregated Stats carries the same counters (one scrape point
+  // for a metrics exporter).
+  EXPECT_EQ(warm.field_cache.mont_hits, field_warm.mont_hits);
+  EXPECT_EQ(warm.field_cache.ntt_hits, field_warm.ntt_hits);
 
   ASSERT_TRUE(first.success);
   ASSERT_TRUE(second.success);
@@ -345,6 +363,131 @@ TEST(ProofService, JobExceptionsPropagateThroughFuture) {
   const ProofService::Stats stats = service.stats();
   EXPECT_EQ(stats.submitted, 2u);
   EXPECT_EQ(stats.completed, 1u);
+}
+
+// Delegating problem whose evaluators sleep before each chunk: keeps
+// a job in flight long enough for its deadline to expire mid-prime.
+class SlowProblem final : public CamelotProblem {
+ public:
+  SlowProblem(std::shared_ptr<const CamelotProblem> inner,
+              std::chrono::milliseconds per_chunk)
+      : inner_(std::move(inner)), per_chunk_(per_chunk) {}
+  std::string name() const override { return inner_->name(); }
+  ProofSpec spec() const override { return inner_->spec(); }
+  std::unique_ptr<Evaluator> make_evaluator(const FieldOps& f) const override {
+    class SlowEvaluator final : public Evaluator {
+     public:
+      SlowEvaluator(std::unique_ptr<Evaluator> inner,
+                    std::chrono::milliseconds delay, const FieldOps& f)
+          : Evaluator(f), inner_(std::move(inner)), delay_(delay) {}
+      u64 eval(u64 x0) override { return inner_->eval(x0); }
+      std::vector<u64> evaluate_points(std::span<const u64> xs) override {
+        std::this_thread::sleep_for(delay_);
+        return inner_->evaluate_points(xs);
+      }
+
+     private:
+      std::unique_ptr<Evaluator> inner_;
+      std::chrono::milliseconds delay_;
+    };
+    return std::make_unique<SlowEvaluator>(inner_->make_evaluator(f),
+                                           per_chunk_, f);
+  }
+  std::vector<u64> recover(const Poly& proof,
+                           const PrimeField& f) const override {
+    return inner_->recover(proof, f);
+  }
+
+ private:
+  std::shared_ptr<const CamelotProblem> inner_;
+  std::chrono::milliseconds per_chunk_;
+};
+
+TEST(ProofService, DeadlineExpiryStopsInFlightPrimes) {
+  // One worker, one job: the worker starts the job while its deadline
+  // is still in the future, so the expiry can only be observed at a
+  // chunk boundary *inside* run_prime_streaming — the in-flight
+  // cancellation path, not the pre-start check.
+  ProofService service({.num_workers = 1});
+  ClusterConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.num_threads = 1;
+  cfg.num_primes = 2;
+  auto problems = four_problems();
+  // Full run would sleep 2 primes x 8 chunks x 50 ms = 800 ms.
+  auto slow = std::make_shared<SlowProblem>(problems[0],
+                                            std::chrono::milliseconds(50));
+  SubmitOptions opt;
+  opt.deadline = std::chrono::milliseconds(120);
+  const auto t0 = std::chrono::steady_clock::now();
+  RunReport report = service.submit(slow, cfg, nullptr, opt).get();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(report.status, JobStatus::kDeadlineExpired);
+  EXPECT_FALSE(report.success);
+  // The job aborted at a chunk boundary shortly after its deadline,
+  // far before the 800 ms an uncancelled run would sleep.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(650));
+  EXPECT_EQ(service.stats().expired, 1u);
+}
+
+TEST(ProofSession, CancelProbeAbortsPrimeAndResets) {
+  auto problems = four_problems();
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_threads = 1;
+  ProofSession session(*problems[0], cfg);
+  LosslessStreamingChannel channel;
+  int polls = 0;
+  EXPECT_THROW(session.run_prime_streaming(
+                   0, channel,
+                   [&polls] {
+                     ++polls;
+                     return true;
+                   }),
+               SessionCancelled);
+  EXPECT_GT(polls, 0);
+  // The aborted prime is back at kCreated, and a fresh un-cancelled
+  // run of the same prime completes normally.
+  EXPECT_EQ(session.stage(0), SessionStage::kCreated);
+  session.run_prime_streaming(0, channel);
+  EXPECT_EQ(session.stage(0), SessionStage::kRecovered);
+}
+
+TEST(ProofService, EqualPriorityTasksRunEarliestDeadlineFirst) {
+  auto log = std::make_shared<std::vector<std::string>>();
+  auto mu = std::make_shared<std::mutex>();
+  auto problems = four_problems();
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.redundancy = 2.0;
+
+  ProofService service({.num_workers = 1});
+  // Occupy the single worker so the two probes sit queued together.
+  std::vector<std::future<RunReport>> blockers;
+  for (int i = 0; i < 3; ++i) {
+    blockers.push_back(service.submit(
+        std::make_shared<TaggedProblem>(problems[0], "blocker", log, mu),
+        cfg));
+  }
+  auto fifo = std::make_shared<TaggedProblem>(problems[1], "fifo", log, mu);
+  auto edf = std::make_shared<TaggedProblem>(problems[2], "edf", log, mu);
+  // Same priority; the earlier-submitted job has no deadline, the
+  // later one a (generous) deadline — EDF must reorder them.
+  auto f_fifo = service.submit(fifo, cfg);
+  SubmitOptions with_deadline;
+  with_deadline.deadline = std::chrono::minutes(10);
+  auto f_edf = service.submit(edf, cfg, nullptr, with_deadline);
+  for (auto& f : blockers) ASSERT_TRUE(f.get().success);
+  ASSERT_TRUE(f_fifo.get().success);
+  ASSERT_TRUE(f_edf.get().success);
+
+  auto first_of = [&](const std::string& tag) {
+    for (std::size_t i = 0; i < log->size(); ++i) {
+      if ((*log)[i] == tag) return i;
+    }
+    return log->size();
+  };
+  EXPECT_LT(first_of("edf"), first_of("fifo"));
 }
 
 TEST(ProofService, SharesCodeCacheAcrossJobs) {
