@@ -21,9 +21,12 @@
 #include "field/montgomery_simd.hpp"
 #include "field/primes.hpp"
 #include "poly/fast_div.hpp"
+#include "poly/hgcd.hpp"
 #include "poly/multipoint.hpp"
 #include "poly/ntt.hpp"
 #include "poly/poly.hpp"
+#include "rs/gao.hpp"
+#include "rs/reed_solomon.hpp"
 
 namespace camelot {
 namespace {
@@ -384,6 +387,83 @@ int main(int argc, char** argv) {
             g_sink = tree_fast.interpolate(vals, f).coeff(0);
             return 1.0;
           }));
+    }
+  }
+
+  // --- middle product: clipped convolution vs transposed transform --------
+  // The Newton-step shape (long operand 2d, short operand d, slice
+  // [d, 2d)) that both fast-division products reduce to. "before"
+  // reimplements the old clipped full convolution (cut operands at
+  // x^hi, transform the padded full product, read the slice);
+  // "after" is the landed wrapped-transform poly_mul_middle. Same
+  // words either way.
+  {
+    FieldCache cache;
+    for (std::size_t d : {1024u, 4096u}) {
+      const FieldOps ops = cache.ops(q, 4 * d, FieldBackend::kMontgomery);
+      const MontgomeryField& mm = ops.mont();
+      const NttTables* tables = ops.ntt_tables().get();
+      std::vector<u64> a(2 * d), b(d);
+      for (auto& v : a) v = rng() % q;
+      for (auto& v : b) v = rng() % q;
+      const std::vector<u64> am = mm.to_mont_vec(a), bm = mm.to_mont_vec(b);
+      const std::size_t lo = d, hi = 2 * d;
+      const double before = ns_per_op([&] {
+        const std::span<const u64> sa(am), sb(bm);
+        std::vector<u64> prod = fastdiv_detail::mul_full(
+            sa.subspan(0, std::min(sa.size(), hi)),
+            sb.subspan(0, std::min(sb.size(), hi)), mm, tables);
+        std::vector<u64> out(hi - lo, 0);
+        for (std::size_t i = lo; i < hi && i < prod.size(); ++i) {
+          out[i - lo] = prod[i];
+        }
+        g_sink = out[0];
+        return 1.0;
+      });
+      const double after = ns_per_op([&] {
+        g_sink = poly_mul_middle(am, bm, lo, hi, mm, tables)[0];
+        return 1.0;
+      });
+      entries.push_back({"mul_middle_d" + std::to_string(d), "clipped_ns",
+                         "transposed_ns", before, after});
+    }
+  }
+
+  // --- Gao decode: classical remainder sequence vs half-GCD cascade -------
+  // One length-4096 code, error weight growing to the full decoding
+  // radius (the dense adversarial regime): "before" decodes through a
+  // code captured under an infinite HGCD crossover (pure classical
+  // EEA), "after" under the default crossover (recursive cascade).
+  // Identical outputs; the ratio is the Theta(e^2) -> O(e log^2 e)
+  // claim for the remainder sequence in measurable form.
+  {
+    const std::size_t e_len = 4096;
+    const std::size_t d_bound = e_len - 2 * 1024 - 1;  // radius exactly 1024
+    FieldCache cache;
+    const FieldOps ops = cache.ops(q, 2 * e_len, FieldBackend::kMontgomery);
+    set_hgcd_crossover(std::size_t{1} << 30);
+    const ReedSolomonCode code_classical(ops, d_bound, e_len);
+    set_hgcd_crossover(0);  // default
+    const ReedSolomonCode code_hgcd(ops, d_bound, e_len);
+    Poly msg;
+    msg.c.resize(d_bound + 1);
+    for (auto& v : msg.c) v = rng() % q;
+    const std::vector<u64> clean = code_hgcd.encode(msg);
+    for (std::size_t errs : {64u, 256u, 1024u}) {
+      std::vector<u64> word = clean;
+      for (std::size_t i = 0; i < errs; ++i) {
+        word[i] = (word[i] + 1 + rng() % (q - 1)) % q;
+      }
+      const double before = ns_per_op([&] {
+        g_sink = gao_decode(code_classical, word).quotient_steps;
+        return 1.0;
+      });
+      const double after = ns_per_op([&] {
+        g_sink = gao_decode(code_hgcd, word).quotient_steps;
+        return 1.0;
+      });
+      entries.push_back({"gao_hgcd_e" + std::to_string(errs), "classical_ns",
+                         "hgcd_ns", before, after});
     }
   }
 

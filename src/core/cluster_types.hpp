@@ -34,10 +34,22 @@ struct ClusterConfig {
   // the CPU lacks AVX2 or CAMELOT_FORCE_SCALAR is set, so the default
   // is safe on every host (and bit-identical either way).
   FieldBackend backend = FieldBackend::kMontgomeryAvx2;
+  // Systematic-encode fast path: honest nodes run the problem's
+  // evaluator only over the message prefix [0, d+1) of the codeword
+  // and the parity tail [d+1, e) comes from the code's systematic
+  // extension (one quasi-linear interpolate+evaluate instead of
+  // e-d-1 evaluator points). The codeword is bit-identical either
+  // way — the degree-<=d interpolant through the d+1 honest message
+  // symbols is the proof polynomial itself — so decode, verify and
+  // the final report do not change; only who computes what does.
+  bool systematic_encode = true;
 };
 
 struct NodeStats {
   std::size_t node_id = 0;
+  // Symbols this node produced through the problem's evaluator. Under
+  // systematic encoding only message-prefix symbols count: the parity
+  // tail is a cheap code extension, not evaluator work.
   std::size_t symbols_computed = 0;
   double seconds = 0.0;
 };
@@ -52,6 +64,12 @@ struct PrimeRunReport {
   // Nodes implicated by the error locations (deduplicated) — the
   // paper's "identify the nodes that did not properly participate".
   std::vector<std::size_t> implicated_nodes;
+  // Remainder-sequence work the Gao decoder performed for this prime
+  // (valid once decoded): genuine Euclidean quotient steps, and how
+  // many times the half-GCD routine was entered (1 = pure classical
+  // run below the crossover; > 1 = recursive cascade engaged).
+  std::size_t decode_quotient_steps = 0;
+  std::size_t decode_hgcd_calls = 0;
   // Residues of the answers modulo this prime (valid iff decoded).
   std::vector<u64> answer_residues;
 };

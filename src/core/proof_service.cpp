@@ -120,12 +120,17 @@ void ProofService::run_task(const Task& task) {
     // Last prime done. The seq_cst decrements order every other
     // task's session writes before this read of the report.
     if (!job.settled.exchange(true)) {
+      RunReport report = job.session->report();
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.completed;
         --pending_jobs_;
+        for (const PrimeRunReport& pr : report.per_prime) {
+          stats_.decode_quotient_steps += pr.decode_quotient_steps;
+          stats_.decode_hgcd_calls += pr.decode_hgcd_calls;
+        }
       }
-      job.promise.set_value(job.session->report());
+      job.promise.set_value(std::move(report));
     }
   }
 }

@@ -121,6 +121,14 @@ class ProofService {
     // Largest number of per-prime tasks ever resident in the queue —
     // the capacity-planning signal for num_workers/max_pending_jobs.
     std::size_t queue_depth_high_water = 0;
+    // Gao-decoder work aggregated over completed jobs' primes:
+    // genuine Euclidean quotient steps, and entries into the half-GCD
+    // routine (one per decode when the remainder sequence stays below
+    // the crossover, more when the recursive cascade engages). The
+    // ratio steps/calls is the dense-error signal a deployment watches
+    // when tuning CAMELOT_HGCD_CROSSOVER.
+    std::size_t decode_quotient_steps = 0;
+    std::size_t decode_hgcd_calls = 0;
     // Snapshots of the shared caches (same objects reachable through
     // field_cache()/code_cache(), surfaced here so one stats() call
     // is a complete metrics scrape).

@@ -153,6 +153,8 @@ void ProofSession::invalidate_downstream(PrimeState& st,
     st.report.decode_status = DecodeStatus::kDecodeFailure;
     st.report.corrected_symbols.clear();
     st.report.implicated_nodes.clear();
+    st.report.decode_quotient_steps = 0;
+    st.report.decode_hgcd_calls = 0;
   }
   if (new_stage < SessionStage::kVerified) st.report.verified = false;
   if (new_stage < SessionStage::kRecovered) st.report.answer_residues.clear();
@@ -165,28 +167,62 @@ void ProofSession::ensure_code(PrimeState& st) {
   st.code = codes_->code(st.ops, spec_.degree_bound, plan_->code_length);
 }
 
-std::pair<std::size_t, std::vector<u64>> ProofSession::compute_node_chunk(
-    PrimeState& st, std::size_t node) {
+std::pair<std::size_t, std::size_t> ProofSession::node_chunk(
+    std::size_t node) const {
   const std::size_t e = plan_->code_length;
   const std::size_t k = config_.num_nodes;
-  const auto t0 = std::chrono::steady_clock::now();
-  auto evaluator = problem_.make_evaluator(st.ops);
-  // Node j owns the contiguous chunk [lo, hi) of the codeword (the
-  // closed form of symbol_owner: owner(i) = floor(i*K/e)); issue a
-  // single batched call for the whole chunk so the evaluator can
-  // amortize its point-independent work.
   const std::size_t lo = (node * e + k - 1) / k;
   const std::size_t hi = std::min(e, ((node + 1) * e + k - 1) / k);
-  std::vector<u64> values;
-  if (hi > lo) {
-    const std::span<const u64> chunk(st.code->points().data() + lo, hi - lo);
-    values = evaluator->evaluate_points(chunk);
+  return {lo, hi};
+}
+
+std::size_t ProofSession::message_prefix() const {
+  const std::size_t e = plan_->code_length;
+  const std::size_t m = spec_.degree_bound + 1;
+  // m == e (rate-1) makes the extension a no-op, so treat it as the
+  // plain path; m < e is guaranteed otherwise (d+1 <= e at plan time).
+  return (config_.systematic_encode && m < e) ? m : e;
+}
+
+std::size_t ProofSession::message_node_count() const {
+  const std::size_t m = message_prefix();
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < config_.num_nodes; ++j) {
+    const auto [lo, hi] = node_chunk(j);
+    if (lo < hi && lo < m) ++count;
   }
+  return count;  // >= 1: node 0 always owns symbol 0 < m
+}
+
+std::vector<u64> ProofSession::evaluate_node_range(PrimeState& st,
+                                                   std::size_t node,
+                                                   std::size_t lo,
+                                                   std::size_t hi) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto evaluator = problem_.make_evaluator(st.ops);
+  // One batched call for the whole range so the evaluator can
+  // amortize its point-independent work.
+  const std::span<const u64> chunk(st.code->points().data() + lo, hi - lo);
+  std::vector<u64> values = evaluator->evaluate_points(chunk);
   const double secs = seconds_since(t0);
   std::lock_guard<std::mutex> lock(stats_mu_);
   node_stats_[node].symbols_computed += hi - lo;
   node_stats_[node].seconds += secs;
-  return {lo, std::move(values)};
+  return values;
+}
+
+void ProofSession::extend_parity(PrimeState& st) {
+  const std::size_t m = message_prefix();
+  const std::size_t e = plan_->code_length;
+  if (m >= e) return;
+  // The honest message symbols are evaluations of the proof
+  // polynomial P (degree <= d), so the unique degree-<=d interpolant
+  // through them IS P and the extension reproduces exactly the
+  // symbols the parity nodes would have evaluated.
+  std::vector<u64> full = st.code->encode_systematic(
+      std::span<const u64>(st.sent.data(), m));
+  std::copy(full.begin() + static_cast<long>(m), full.end(),
+            st.sent.begin() + static_cast<long>(m));
 }
 
 // ---- Stage bodies (shared by barrier staging and streaming) --------------
@@ -196,6 +232,8 @@ void ProofSession::apply_decode(PrimeState& st, GaoResult decoded) {
   st.report.decode_status = st.decoded.status;
   st.report.corrected_symbols.clear();
   st.report.implicated_nodes.clear();
+  st.report.decode_quotient_steps = st.decoded.quotient_steps;
+  st.report.decode_hgcd_calls = st.decoded.hgcd_calls;
   if (st.decoded.status == DecodeStatus::kOk) {
     st.report.corrected_symbols = st.decoded.error_locations;
     std::set<std::size_t> nodes;
@@ -238,8 +276,10 @@ void ProofSession::prepare_prime(std::size_t prime_index) {
   PrimeState& st = state_at(prime_index);
   const std::size_t e = plan_->code_length;
   const std::size_t k = config_.num_nodes;
+  const std::size_t m = message_prefix();
   ensure_code(st);
-  std::vector<u64> codeword(e, 0);
+  st.sent.assign(e, 0);
+  st.received.clear();
 
   unsigned threads = config_.num_threads != 0
                          ? config_.num_threads
@@ -253,9 +293,12 @@ void ProofSession::prepare_prime(std::size_t prime_index) {
       while (!errors.failed()) {
         const std::size_t j = next_node.fetch_add(1);
         if (j >= k) break;
-        auto [lo, values] = compute_node_chunk(st, j);
+        const auto [lo, hi] = node_chunk(j);
+        const std::size_t mhi = std::min(hi, m);
+        if (mhi <= lo) continue;  // parity-only chunk: no evaluator work
+        std::vector<u64> values = evaluate_node_range(st, j, lo, mhi);
         std::copy(values.begin(), values.end(),
-                  codeword.begin() + static_cast<long>(lo));
+                  st.sent.begin() + static_cast<long>(lo));
       }
     } catch (...) {
       errors.capture();
@@ -267,8 +310,7 @@ void ProofSession::prepare_prime(std::size_t prime_index) {
   for (std::thread& t : pool) t.join();
   errors.rethrow_if_any();
 
-  st.sent = std::move(codeword);
-  st.received.clear();
+  extend_parity(st);
   invalidate_downstream(st, SessionStage::kPrepared);
 }
 
@@ -432,6 +474,8 @@ void ProofSession::run_prime_streaming(std::size_t prime_index,
   WallTimer wt(&wall_seconds_);
   PrimeState& st = state_at(prime_index);
   const std::size_t k = config_.num_nodes;
+  const std::size_t m = message_prefix();
+  const std::size_t msg_nodes = message_node_count();
   std::unique_ptr<SymbolStream> stream = open_prime_stream(st, channel);
   StreamingGaoDecoder decoder(*st.code);
   std::mutex absorb_mu;
@@ -443,7 +487,23 @@ void ProofSession::run_prime_streaming(std::size_t prime_index,
 
   std::atomic<std::size_t> next_node{0};
   std::atomic<std::size_t> nodes_done{0};
+  std::atomic<std::size_t> msg_done{0};
   FirstError errors;
+  // Ships node j's full chunk into the stream; the caller guarantees
+  // st.sent[lo, hi) is final. Closes the stream after the k-th push
+  // and absorbs whatever became deliverable (overlap with computing
+  // workers is the point).
+  auto push_chunk = [&](std::size_t j, std::size_t lo, std::size_t hi) {
+    SymbolChunk chunk;
+    chunk.offset = lo;
+    chunk.node = j;
+    chunk.symbols.assign(st.sent.begin() + static_cast<long>(lo),
+                         st.sent.begin() + static_cast<long>(hi));
+    stream->push(std::move(chunk));
+    if (nodes_done.fetch_add(1) + 1 == k) stream->close();
+    std::lock_guard<std::mutex> lock(absorb_mu);
+    while (auto c = stream->poll()) decoder.absorb(c->offset, c->symbols);
+  };
   auto worker = [&]() {
     try {
       while (!errors.failed()) {
@@ -452,19 +512,31 @@ void ProofSession::run_prime_streaming(std::size_t prime_index,
         if (cancel && cancel()) throw SessionCancelled();
         const std::size_t j = next_node.fetch_add(1);
         if (j >= k) break;
-        auto [lo, values] = compute_node_chunk(st, j);
-        std::copy(values.begin(), values.end(),
-                  st.sent.begin() + static_cast<long>(lo));
-        SymbolChunk chunk;
-        chunk.offset = lo;
-        chunk.node = j;
-        chunk.symbols = std::move(values);
-        stream->push(std::move(chunk));
-        if (nodes_done.fetch_add(1) + 1 == k) stream->close();
-        // Overlap: absorb whatever is deliverable while other nodes
-        // are still computing.
-        std::lock_guard<std::mutex> lock(absorb_mu);
-        while (auto c = stream->poll()) decoder.absorb(c->offset, c->symbols);
+        const auto [lo, hi] = node_chunk(j);
+        const std::size_t mhi = std::min(hi, m);
+        if (mhi > lo) {
+          std::vector<u64> values = evaluate_node_range(st, j, lo, mhi);
+          std::copy(values.begin(), values.end(),
+                    st.sent.begin() + static_cast<long>(lo));
+        }
+        // Chunks that end inside the message prefix are final now;
+        // parity-bearing chunks wait for the systematic extension.
+        if (hi <= m) push_chunk(j, lo, hi);
+        if (mhi > lo && msg_done.fetch_add(1) + 1 == msg_nodes &&
+            m < plan_->code_length) {
+          // Last message sub-chunk landed: every write to
+          // st.sent[0, m) is ordered before this point by the
+          // msg_done RMW chain. Extend to the parity tail, then
+          // release the deferred chunks (deadline probes between
+          // pushes keep in-flight cancellation responsive).
+          extend_parity(st);
+          for (std::size_t jd = 0; jd < k; ++jd) {
+            const auto [dlo, dhi] = node_chunk(jd);
+            if (dhi <= m) continue;  // already pushed above
+            if (cancel && cancel()) throw SessionCancelled();
+            push_chunk(jd, dlo, dhi);
+          }
+        }
       }
     } catch (...) {
       errors.capture();
@@ -508,6 +580,7 @@ RunReport ProofSession::run_streaming(const StreamingSymbolChannel& channel) {
     std::unique_ptr<StreamingGaoDecoder> decoder;
     std::mutex mu;  // serializes poll/absorb
     std::atomic<std::size_t> nodes_done{0};
+    std::atomic<std::size_t> msg_done{0};
     std::atomic<bool> finalized{false};
   };
   std::vector<std::unique_ptr<Flight>> flights;
@@ -551,7 +624,25 @@ RunReport ProofSession::run_streaming(const StreamingSymbolChannel& channel) {
   // primes' streams fill (and decode) while later primes prepare.
   std::atomic<std::size_t> next_task{0};
   const std::size_t total_tasks = num_primes * k;
+  const std::size_t m = message_prefix();
+  const std::size_t msg_nodes = message_node_count();
   FirstError errors;
+  // Ships node j's full chunk (final in st.sent) into prime pi's
+  // stream, closing it after the k-th push and draining.
+  auto push_chunk = [&](std::size_t pi, std::size_t j, std::size_t lo,
+                        std::size_t hi) {
+    PrimeState& st = primes_[pi];
+    Flight& fl = *flights[pi];
+    SymbolChunk chunk;
+    chunk.offset = lo;
+    chunk.node = j;
+    chunk.symbols.assign(st.sent.begin() + static_cast<long>(lo),
+                         st.sent.begin() + static_cast<long>(hi));
+    fl.stream->push(std::move(chunk));
+    const bool last = fl.nodes_done.fetch_add(1) + 1 == k;
+    if (last) fl.stream->close();
+    drain(pi, /*to_exhaustion=*/last);
+  };
   auto worker = [&]() {
     try {
       while (!errors.failed()) {
@@ -560,18 +651,29 @@ RunReport ProofSession::run_streaming(const StreamingSymbolChannel& channel) {
         const std::size_t pi = t / k;
         const std::size_t j = t % k;
         PrimeState& st = primes_[pi];
-        auto [lo, values] = compute_node_chunk(st, j);
-        std::copy(values.begin(), values.end(),
-                  st.sent.begin() + static_cast<long>(lo));
-        Flight& fl = *flights[pi];
-        SymbolChunk chunk;
-        chunk.offset = lo;
-        chunk.node = j;
-        chunk.symbols = std::move(values);
-        fl.stream->push(std::move(chunk));
-        const bool last = fl.nodes_done.fetch_add(1) + 1 == k;
-        if (last) fl.stream->close();
-        drain(pi, /*to_exhaustion=*/last);
+        const auto [lo, hi] = node_chunk(j);
+        const std::size_t mhi = std::min(hi, m);
+        if (mhi > lo) {
+          std::vector<u64> values = evaluate_node_range(st, j, lo, mhi);
+          std::copy(values.begin(), values.end(),
+                    st.sent.begin() + static_cast<long>(lo));
+        }
+        // Chunks ending inside the message prefix are final; parity-
+        // bearing chunks wait for this prime's systematic extension.
+        if (hi <= m) push_chunk(pi, j, lo, hi);
+        if (mhi > lo &&
+            flights[pi]->msg_done.fetch_add(1) + 1 == msg_nodes &&
+            m < plan_->code_length) {
+          // Last message sub-chunk of prime pi landed (the msg_done
+          // RMW chain orders every st.sent[0, m) write before this):
+          // extend to the parity tail and release the deferred chunks.
+          extend_parity(st);
+          for (std::size_t jd = 0; jd < k; ++jd) {
+            const auto [dlo, dhi] = node_chunk(jd);
+            if (dhi <= m) continue;  // already pushed above
+            push_chunk(pi, jd, dlo, dhi);
+          }
+        }
       }
     } catch (...) {
       errors.capture();

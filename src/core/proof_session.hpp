@@ -243,10 +243,24 @@ class ProofSession {
   // Back half: requires a fully-absorbed decoder; runs decode ->
   // verify -> recover (throws if the stream delivered short).
   void finalize_prime_stream(PrimeState& st, StreamingGaoDecoder& decoder);
-  // Node's chunk of the codeword for `st` (one batched evaluator
-  // call); records node stats. Returns (chunk start, chunk values).
-  std::pair<std::size_t, std::vector<u64>> compute_node_chunk(
-      PrimeState& st, std::size_t node);
+  // [lo, hi) bounds of node j's contiguous codeword chunk (the closed
+  // form of symbol_owner: owner(i) = floor(i*K/e)).
+  std::pair<std::size_t, std::size_t> node_chunk(std::size_t node) const;
+  // Number of leading codeword positions the evaluator computes
+  // directly: d+1 on the systematic fast path, the full code length
+  // when the path is off (or the code is rate-1).
+  std::size_t message_prefix() const;
+  // Count of nodes whose chunk intersects [0, message_prefix()) — the
+  // nodes that perform evaluator work on the systematic path.
+  std::size_t message_node_count() const;
+  // Evaluates codeword positions [lo, hi) on node's behalf (one
+  // batched evaluator call) and records its stats; callers clamp hi
+  // to the message prefix on the systematic path.
+  std::vector<u64> evaluate_node_range(PrimeState& st, std::size_t node,
+                                       std::size_t lo, std::size_t hi);
+  // Extends the message prefix already sitting in st.sent[0, m) to
+  // the parity tail st.sent[m, e) via the code's systematic encoder.
+  void extend_parity(PrimeState& st);
   // Stage bodies shared by the barrier stage methods (which add
   // precondition checks and wall timing) and the streaming pipeline.
   void apply_decode(PrimeState& st, GaoResult decoded);

@@ -18,9 +18,15 @@
 //     (e.g. a subproduct-tree node inverse) skips the Newton
 //     iteration entirely, leaving two products per division.
 //   * poly_mul_low / poly_mul_middle — the truncated ("low") and
-//     middle-product slice kernels the above are assembled from
-//     (clipped convolutions today; the transposed-transform constant-
-//     factor trick is a queued follow-up).
+//     middle-product slice kernels the above are assembled from. The
+//     middle product runs as a transposed (wrapped) transform: a
+//     cyclic convolution mod x^N - 1 at the smallest power of two N
+//     that keeps the target slice alias-free, so the transforms are
+//     sized by the slice instead of the padded full product (the
+//     Newton doubling drops from two ~4k-point transforms to ~2k, and
+//     the division remainder runs at the divisor size). Karatsuba
+//     fallback below the NTT threshold or when the field's two-adicity
+//     cannot host the transform (q = 2, 2^61 - 1).
 //
 // Everything is templated over the field backend exactly like
 // poly.hpp, so the scalar Montgomery, AVX2 lane, and division
@@ -90,16 +96,36 @@ std::vector<u64> mul_full(std::span<const u64> a, std::span<const u64> b,
   return poly_detail::kara(a, b, f);
 }
 
+// Cyclic convolution of the (clipped) operands mod x^n - 1 through
+// the best available transform, or an empty vector when no transform
+// fits (caller falls back to the clipped full product).
+template <class Field>
+std::vector<u64> cyclic_or_empty(std::span<const u64> a,
+                                 std::span<const u64> b, std::size_t n,
+                                 const Field& f, const NttTables* tables) {
+  if constexpr (!std::is_same_v<Field, PrimeField>) {
+    if (tables != nullptr && tables->modulus() == f.modulus() &&
+        n <= tables->capacity()) {
+      return ntt_convolve_cyclic(a, b, n, f, *tables);
+    }
+  }
+  if (ntt_supports_size(f, n)) return ntt_convolve_cyclic(a, b, n, f);
+  return {};
+}
+
 }  // namespace fastdiv_detail
 
 // Middle product: coefficients [lo, hi) of a*b — the primitive slice
-// kernel this layer is assembled from. Computed as a clipped full
-// convolution (inputs at or past x^hi cannot contribute and are cut
-// before the transform; positions past the product degree read as
-// zero). Asymptotics match the transposed-multiplication formulation;
-// the transform-sharing trick that would shave its constant factor
-// (one transform of size hi instead of the padded product) is a
-// queued follow-up, not what this computes today.
+// kernel this layer is assembled from. Computed as a transposed
+// (wrapped) transform: operands at or past x^hi are cut, then the
+// product is taken mod x^N - 1 for the smallest power of two N with
+// N >= hi (so the slice is a self-map under the wrap) and
+// lo + N >= full product length (so no aliased coefficient lands
+// inside the slice). One cyclic convolution at the slice size instead
+// of a padded full product. Falls back to the clipped Karatsuba
+// product below the NTT threshold or when the field's two-adicity
+// cannot host the transform; field arithmetic is exact, so both
+// paths return bit-identical words.
 template <class Field>
 std::vector<u64> poly_mul_middle(std::span<const u64> a,
                                  std::span<const u64> b, std::size_t lo,
@@ -107,9 +133,22 @@ std::vector<u64> poly_mul_middle(std::span<const u64> a,
                                  const NttTables* tables = nullptr) {
   std::vector<u64> out(hi > lo ? hi - lo : 0, 0);
   if (a.empty() || b.empty() || hi <= lo) return out;
+  const std::size_t la = std::min(a.size(), hi);
+  const std::size_t lb = std::min(b.size(), hi);
+  const std::size_t full = la + lb - 1;
+  if (full <= lo) return out;  // no clipped coefficient reaches x^lo
+  if (full >= poly_detail::kNttThreshold) {
+    std::size_t n = 1;
+    while (n < std::max(hi, full - lo)) n <<= 1;
+    std::vector<u64> cyc = fastdiv_detail::cyclic_or_empty(
+        a.subspan(0, la), b.subspan(0, lb), n, f, tables);
+    if (!cyc.empty()) {
+      for (std::size_t i = lo; i < hi && i < full; ++i) out[i - lo] = cyc[i];
+      return out;
+    }
+  }
   std::vector<u64> prod =
-      fastdiv_detail::mul_full(a.subspan(0, std::min(a.size(), hi)),
-                               b.subspan(0, std::min(b.size(), hi)), f, tables);
+      poly_detail::kara(a.subspan(0, la), b.subspan(0, lb), f);
   for (std::size_t i = lo; i < hi && i < prod.size(); ++i) {
     out[i - lo] = prod[i];
   }
@@ -127,6 +166,47 @@ std::vector<u64> poly_mul_low(std::span<const u64> a, std::span<const u64> b,
   if (n == 0) return {};
   return poly_mul_middle(a, b, 0, n, f, tables);
 }
+
+namespace fastdiv_detail {
+
+// Division remainder via the wrapped product: with a = q*b + r exact
+// and deg r < db, folding both sides mod x^N - 1 (N = next power of
+// two >= db) gives fold_N(a) - cyc_N(q, b) = r on [0, db) — every
+// aliased product coefficient is cancelled by the matching alias of
+// a, and r itself never wraps. The transforms run at the divisor
+// size instead of the padded full-product size. Requires q to be the
+// exact quotient of a by b; returns exactly db entries. Falls back
+// to the truncated product below the NTT threshold or when the field
+// lacks the root orders — identical words either way.
+template <class Field>
+std::vector<u64> remainder_of_exact_div(std::span<const u64> a,
+                                        std::span<const u64> q,
+                                        std::span<const u64> b, std::size_t db,
+                                        const Field& f,
+                                        const NttTables* tables) {
+  std::vector<u64> rem(db, 0);
+  const std::size_t full = q.size() + b.size() - 1;
+  if (full >= poly_detail::kNttThreshold) {
+    std::size_t n = 1;
+    while (n < db) n <<= 1;
+    std::vector<u64> cyc = cyclic_or_empty(q, b, n, f, tables);
+    if (!cyc.empty()) {
+      std::vector<u64> fa(n, 0);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        fa[i & (n - 1)] = f.add(fa[i & (n - 1)], a[i]);
+      }
+      for (std::size_t i = 0; i < db; ++i) rem[i] = f.sub(fa[i], cyc[i]);
+      return rem;
+    }
+  }
+  std::vector<u64> low = poly_mul_low(q, b, db, f, tables);
+  for (std::size_t i = 0; i < db; ++i) {
+    rem[i] = f.sub(i < a.size() ? a[i] : 0, low[i]);
+  }
+  return rem;
+}
+
+}  // namespace fastdiv_detail
 
 // Power-series inverse: g with fp*g = 1 mod x^n, by Newton doubling
 // g <- g*(2 - fp*g). Requires an invertible constant term. The result
@@ -154,17 +234,23 @@ Poly poly_inverse_series(const Poly& fp, std::size_t n, const Field& fref,
   } else {
     g.c.assign(1, f.inv(fp.c[0]));
   }
-  const u64 two = f.add(f.one(), f.one());
   std::size_t k = g.c.size();
   while (k < n) {
-    k = std::min(2 * k, n);
-    // t = 2 - fp*g mod x^k, then g <- g*t mod x^k.
-    std::vector<u64> t = poly_mul_low(
-        std::span<const u64>(fp.c.data(), std::min(fp.c.size(), k)), g.c, k, f,
-        tables);
-    for (u64& v : t) v = f.neg(v);
-    t[0] = f.add(t[0], two);
-    g.c = poly_mul_low(g.c, t, k, f, tables);
+    const std::size_t k2 = std::min(2 * k, n);
+    // Middle-product (HQZ) form of the doubling: g is the exact
+    // inverse mod x^k, so fp*g = 1 + x^k*h mod x^k2 with h exactly
+    // the [k, k2) slice of fp*g, and the Newton update
+    // g*(2 - fp*g) keeps the low half of g verbatim while the new
+    // half is -(g*h mod x^{k2-k}). Two slice products at the block
+    // size replace two full-precision low products; the inverse
+    // series is unique, so the words are identical either way.
+    std::vector<u64> h = poly_mul_middle(
+        std::span<const u64>(fp.c.data(), std::min(fp.c.size(), k2)), g.c, k,
+        k2, f, tables);
+    std::vector<u64> u = poly_mul_low(g.c, h, k2 - k, f, tables);
+    g.c.resize(k2);
+    for (std::size_t i = k; i < k2; ++i) g.c[i] = f.neg(u[i - k]);
+    k = k2;
   }
   g.c.resize(n, 0);
   return g;
@@ -229,12 +315,9 @@ void poly_divrem_fast(const Poly& a_in, const Poly& b_in, const Field& fref,
   if (r != nullptr) {
     Poly rem;
     if (db > 0) {
-      const std::size_t nr = static_cast<std::size_t>(db);
-      std::vector<u64> low = poly_mul_low(quot.c, b.c, nr, f, tables);
-      rem.c.resize(nr);
-      for (std::size_t i = 0; i < nr; ++i) {
-        rem.c[i] = f.sub(a.coeff(i), low[i]);
-      }
+      rem.c = fastdiv_detail::remainder_of_exact_div(
+          std::span<const u64>(a.c), std::span<const u64>(quot.c),
+          std::span<const u64>(b.c), static_cast<std::size_t>(db), f, tables);
       rem.trim();
     }
     *r = std::move(rem);
@@ -273,9 +356,8 @@ void monic_rem_fast_inplace(std::vector<u64>& r, const std::vector<u64>& b,
       rev_a, std::span<const u64>(inv_rev.c.data(), k), k, f, tables);
   std::vector<u64> quot(k);
   for (std::size_t i = 0; i < k; ++i) quot[i] = rev_q[k - 1 - i];
-  std::vector<u64> low = poly_mul_low(quot, b, db, f, tables);
-  r.resize(db, 0);
-  for (std::size_t i = 0; i < db; ++i) r[i] = f.sub(r[i], low[i]);
+  r = fastdiv_detail::remainder_of_exact_div(std::span<const u64>(r), quot, b,
+                                             db, f, tables);
 }
 
 // Size-dispatching division: fast path when the divisor degree is at

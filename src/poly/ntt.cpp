@@ -127,6 +127,44 @@ std::vector<u64> convolve_kernel(std::span<const u64> a,
   return fa;
 }
 
+// Folds `src` into `n` slots mod x^n - 1: slot i accumulates every
+// coefficient whose index is congruent to i. For power-of-two n the
+// wrap positions are exactly the aliases the middle product discards,
+// so the caller's target slice reads back exact products.
+template <class Field>
+std::vector<u64> fold_mod_xn(std::span<const u64> src, std::size_t n,
+                             const Field& f) {
+  std::vector<u64> out(n, 0);
+  const std::size_t head = std::min(src.size(), n);
+  std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(head),
+            out.begin());
+  for (std::size_t i = n; i < src.size(); ++i) {
+    out[i & (n - 1)] = f.add(out[i & (n - 1)], src[i]);
+  }
+  return out;
+}
+
+template <class Field>
+std::vector<u64> cyclic_kernel(std::span<const u64> a, std::span<const u64> b,
+                               std::size_t n, const Field& f,
+                               const NttTables* tables) {
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument(
+        "ntt_convolve_cyclic: size must be a power of two");
+  }
+  std::vector<u64> fa = fold_mod_xn(a, n, f);
+  std::vector<u64> fb = fold_mod_xn(b, n, f);
+  ntt_kernel(fa, false, f, tables);
+  ntt_kernel(fb, false, f, tables);
+  if constexpr (FieldHasBatchKernels<Field>) {
+    f.mul_vec(fa.data(), fb.data(), fa.data(), n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fa[i] = f.mul(fa[i], fb[i]);
+  }
+  ntt_kernel(fa, true, f, tables);
+  return fa;
+}
+
 }  // namespace
 
 NttTables::NttTables(const MontgomeryField& m, std::size_t max_size)
@@ -255,6 +293,42 @@ std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const NttTables& tables) {
   if (a.empty() || b.empty()) return {};
   return convolve_kernel(a, b, f, &tables);
+}
+
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const PrimeField& f) {
+  const MontgomeryField m(f);
+  std::vector<u64> fa = m.to_mont_vec(a), fb = m.to_mont_vec(b);
+  std::vector<u64> r = cyclic_kernel<MontgomeryField>(fa, fb, n, m, nullptr);
+  m.from_mont_inplace(r);
+  return r;
+}
+
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const MontgomeryField& f) {
+  return cyclic_kernel(a, b, n, f, nullptr);
+}
+
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const MontgomeryAvx2Field& f) {
+  return cyclic_kernel(a, b, n, f, nullptr);
+}
+
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const MontgomeryField& f,
+                                     const NttTables& tables) {
+  return cyclic_kernel(a, b, n, f, &tables);
+}
+
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const MontgomeryAvx2Field& f,
+                                     const NttTables& tables) {
+  return cyclic_kernel(a, b, n, f, &tables);
 }
 
 }  // namespace camelot

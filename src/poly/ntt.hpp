@@ -109,4 +109,28 @@ std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const MontgomeryAvx2Field& f,
                               const NttTables& tables);
 
+// Cyclic convolution mod x^n - 1 for power-of-two n (the transposed
+// middle-product primitive): both operands are folded into n words
+// (coefficient i adds into slot i mod n) before a *single* size-n
+// transform pair, so a middle product pays transforms of the slice
+// size instead of the full product size. Requires n power of two and
+// within the field's two-adicity; operands may be longer than n.
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const PrimeField& f);
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const MontgomeryField& f);
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const MontgomeryAvx2Field& f);
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const MontgomeryField& f,
+                                     const NttTables& tables);
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const MontgomeryAvx2Field& f,
+                                     const NttTables& tables);
+
 }  // namespace camelot

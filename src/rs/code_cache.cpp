@@ -4,21 +4,25 @@
 #include <utility>
 
 #include "poly/fast_div.hpp"
+#include "poly/hgcd.hpp"
 
 namespace camelot {
 
 std::shared_ptr<const ReedSolomonCode> CodeCache::code(
     const FieldOps& ops, std::size_t degree_bound, std::size_t length) {
-  // The fastdiv crossover participates in the key: a SubproductTree
-  // bakes the crossover in at build time (which nodes carry Newton
-  // inverses), so a tree built under a different setting is
-  // value-identical but runs the wrong descent — an A/B sweep or a
-  // CAMELOT_FASTDIV_CROSSOVER override must not be served stale trees.
+  // Both crossovers participate in the key: a SubproductTree bakes
+  // the fastdiv crossover in at build time (which nodes carry Newton
+  // inverses) and the code captures the hgcd crossover its decoder
+  // dispatches under, so an instance built under a different setting
+  // is value-identical but runs the wrong path — an A/B sweep or a
+  // CAMELOT_FASTDIV_CROSSOVER / CAMELOT_HGCD_CROSSOVER override must
+  // not be served stale instances.
   std::string key = std::to_string(ops.prime().modulus()) + '/' +
                     std::to_string(degree_bound) + '/' +
                     std::to_string(length) + '/' +
                     std::to_string(static_cast<int>(ops.backend())) + '/' +
-                    std::to_string(fastdiv_crossover());
+                    std::to_string(fastdiv_crossover()) + '/' +
+                    std::to_string(hgcd_crossover());
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = codes_.find(key);

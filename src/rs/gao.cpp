@@ -1,6 +1,7 @@
 #include "rs/gao.hpp"
 
 #include "poly/fast_div.hpp"
+#include "poly/hgcd.hpp"
 
 namespace camelot {
 
@@ -9,16 +10,20 @@ namespace {
 // The remainder-sequence core, templated over the backend exactly like
 // the poly kernels it drives. g0/g1 and the returned message are in
 // the backend's value domain; the caller handles boundary conversion.
-// Every quotient step (and the final exactness division) dispatches
-// through the Newton-inverse fast division when the operand degrees
-// warrant it, reusing the code's cached twiddle tables.
+// The remainder sequence runs through the half-GCD dispatcher at the
+// code's captured crossover; every quotient step (and the final
+// exactness division) dispatches through the Newton-inverse fast
+// division when the operand degrees warrant it, reusing the code's
+// cached twiddle tables.
 template <class Field>
 bool gao_core(const Poly& g0, Poly g1, std::size_t e, std::size_t d,
-              const Field& f, Poly* message, const NttTables* tables) {
+              const Field& f, Poly* message, const NttTables* tables,
+              std::size_t hgcd_crossover, XgcdStats* stats) {
   // Stop when deg G < (e + d + 1) / 2.
   const int stop = static_cast<int>((e + d + 1) / 2);
   Poly g, u, v;
-  poly_xgcd_partial_fast(g0, g1, stop, f, &g, &u, &v, tables);
+  poly_xgcd_partial_hgcd(g0, g1, stop, f, &g, &u, &v, tables, stats,
+                         hgcd_crossover);
 
   Poly p, r;
   if (v.is_zero()) return false;
@@ -75,15 +80,21 @@ GaoResult gao_decode_prepared(const ReedSolomonCode& code,
   Poly message;
   bool ok;
   const NttTables* tables = ops.ntt_tables().get();
+  const std::size_t crossover = code.hgcd_crossover();
+  XgcdStats stats;
   if (backend == FieldBackend::kMontgomeryAvx2) {
     ok = gao_core(tree.root_mont(), std::move(g1), e, d,
-                  MontgomeryAvx2Field(ops.mont()), &message, tables);
+                  MontgomeryAvx2Field(ops.mont()), &message, tables,
+                  crossover, &stats);
   } else if (montgomery) {
     ok = gao_core(tree.root_mont(), std::move(g1), e, d, ops.mont(),
-                  &message, tables);
+                  &message, tables, crossover, &stats);
   } else {
-    ok = gao_core(tree.root(), std::move(g1), e, d, f, &message, nullptr);
+    ok = gao_core(tree.root(), std::move(g1), e, d, f, &message, nullptr,
+                  crossover, &stats);
   }
+  out.quotient_steps = stats.quotient_steps;
+  out.hgcd_calls = stats.hgcd_calls;
   if (!ok) return out;
 
   out.status = DecodeStatus::kOk;

@@ -30,15 +30,24 @@ struct GaoResult {
   std::vector<std::size_t> error_locations;
   // The corrected codeword, valid iff kOk.
   std::vector<u64> corrected;
+  // Remainder-sequence observability (valid for every status): genuine
+  // Euclidean quotient steps taken and half-GCD recursion invocations
+  // (0 when the budget stayed below the crossover and the sequence ran
+  // classically). ProofService aggregates these into its Stats.
+  std::size_t quotient_steps = 0;
+  std::size_t hgcd_calls = 0;
 };
 
 // Decodes `received` (length e) against the code. The interpolation
 // and the re-encode both run on the subproduct tree's quasi-linear
-// descent (O(e log^2 e)); the Euclidean remainder sequence dispatches
-// each quotient step through Newton-inverse fast division
-// (poly/fast_div.hpp) — large steps are O(e log e), the many tiny
-// steps of a dense error pattern stay on the classical elimination
-// (a half-GCD remainder sequence is the queued follow-up).
+// descent (O(e log^2 e)); the Euclidean remainder sequence runs
+// through the half-GCD cascade (poly/hgcd.hpp) when the reduction
+// budget deg G0 - stop is at or past the code's captured
+// hgcd_crossover() — O(e log^2 e) even for the dense error patterns
+// whose many degree-1 quotients used to cost Theta(e^2) — and stays
+// on the classical fast-division loop (poly/fast_div.hpp) below it.
+// Both paths emit the same genuine quotient sequence, so the choice
+// never moves an output word.
 GaoResult gao_decode(const ReedSolomonCode& code,
                      std::span<const u64> received);
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "poly/fast_div.hpp"
+#include "poly/hgcd.hpp"
 
 namespace camelot {
 
@@ -29,7 +30,8 @@ ReedSolomonCode::ReedSolomonCode(const FieldOps& f, std::size_t degree_bound,
     : ops_(f),
       degree_bound_(degree_bound),
       points_(std::move(points)),
-      fastdiv_crossover_(fastdiv_crossover()) {
+      fastdiv_crossover_(fastdiv_crossover()),
+      hgcd_crossover_(camelot::hgcd_crossover()) {
   if (points_.empty()) {
     throw std::invalid_argument("ReedSolomonCode: no points");
   }

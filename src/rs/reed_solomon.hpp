@@ -45,6 +45,11 @@ class ReedSolomonCode {
   std::size_t decoding_radius() const noexcept {
     return (points_.size() - degree_bound_ - 1) / 2;
   }
+  // Half-GCD crossover captured at construction (the value the
+  // CodeCache keyed this instance under); the Gao decoder's
+  // remainder-sequence dispatch uses it, never a later global
+  // override.
+  std::size_t hgcd_crossover() const noexcept { return hgcd_crossover_; }
 
   // Batch evaluation of the message polynomial at all points.
   std::vector<u64> encode(const Poly& message) const;
@@ -78,10 +83,12 @@ class ReedSolomonCode {
   FieldOps ops_;
   std::size_t degree_bound_;
   std::vector<u64> points_;
-  // Fast-division crossover captured at construction — the value the
-  // CodeCache keyed this instance under. The lazy message subtree is
-  // built with it, never with a later global override.
+  // Fast-division and half-GCD crossovers captured at construction —
+  // the values the CodeCache keyed this instance under. The lazy
+  // message subtree and the decoder's remainder-sequence dispatch use
+  // them, never a later global override.
   std::size_t fastdiv_crossover_;
+  std::size_t hgcd_crossover_;
   std::unique_ptr<SubproductTree> tree_;
   // Subtree over the first d+1 points, built on first systematic
   // encode (call_once keeps the lazy build safe on shared const

@@ -139,17 +139,38 @@ TEST(Cluster, WorkloadBalancedAcrossNodes) {
   ToyProblem problem(toy_input(64, 2));
   ClusterConfig cfg;
   cfg.num_nodes = 16;
+  cfg.systematic_encode = false;  // every node evaluates its full chunk
   Cluster cluster(cfg);
   RunReport report = cluster.run(problem);
   ASSERT_TRUE(report.success);
-  std::size_t mn = SIZE_MAX, mx = 0;
+  std::size_t mn = SIZE_MAX, mx = 0, total = 0;
   for (const auto& ns : report.node_stats) {
     mn = std::min(mn, ns.symbols_computed);
     mx = std::max(mx, ns.symbols_computed);
+    total += ns.symbols_computed;
   }
   // Per prime each node gets a balanced chunk; across primes this
   // stays balanced within one symbol per prime.
   EXPECT_LE(mx - mn, report.num_primes);
+  EXPECT_EQ(total, report.code_length * report.num_primes);
+}
+
+TEST(Cluster, SystematicEncodeSkipsParityEvaluations) {
+  ToyProblem problem(toy_input(64, 2));
+  ClusterConfig cfg;
+  cfg.num_nodes = 16;
+  ASSERT_TRUE(cfg.systematic_encode);  // the default fast path
+  Cluster cluster(cfg);
+  RunReport report = cluster.run(problem);
+  ASSERT_TRUE(report.success);
+  // Evaluator work covers exactly the message prefix — d+1 symbols
+  // per prime, however it lands across the owning nodes — and the
+  // trailing parity-only nodes never construct an evaluator.
+  std::size_t total = 0;
+  for (const auto& ns : report.node_stats) total += ns.symbols_computed;
+  EXPECT_EQ(total, report.proof_symbols * report.num_primes);
+  EXPECT_LT(total, report.code_length * report.num_primes);
+  EXPECT_EQ(report.node_stats.back().symbols_computed, 0u);
 }
 
 class ByzantineModes : public ::testing::TestWithParam<ByzantineStrategy> {};

@@ -127,6 +127,19 @@ TEST(ProofService, AdversarialSubmission) {
   RunReport report = service.submit(problems[0], cfg, adversary).get();
   ASSERT_TRUE(report.success);
   EXPECT_EQ(report.implicated_nodes(), (std::vector<std::size_t>{3, 7}));
+
+  // Corrupted primes exercised the decoder's remainder sequence; the
+  // per-prime counters roll up into the service-wide metrics scrape.
+  std::size_t steps = 0, calls = 0;
+  for (const PrimeRunReport& pr : report.per_prime) {
+    EXPECT_GT(pr.decode_quotient_steps, 0u);
+    EXPECT_GE(pr.decode_hgcd_calls, 1u);
+    steps += pr.decode_quotient_steps;
+    calls += pr.decode_hgcd_calls;
+  }
+  const ProofService::Stats stats = service.stats();
+  EXPECT_EQ(stats.decode_quotient_steps, steps);
+  EXPECT_EQ(stats.decode_hgcd_calls, calls);
 }
 
 TEST(ProofService, ResultsIndependentOfWorkerCount) {
@@ -257,6 +270,44 @@ TEST(ProofService, BoundedQueueRejectsOverload) {
   EXPECT_EQ(stats.completed, ok);
 }
 
+// Delegating problem whose evaluators sleep before each chunk: keeps
+// a job in flight long enough for its deadline to expire mid-prime.
+class SlowProblem final : public CamelotProblem {
+ public:
+  SlowProblem(std::shared_ptr<const CamelotProblem> inner,
+              std::chrono::milliseconds per_chunk)
+      : inner_(std::move(inner)), per_chunk_(per_chunk) {}
+  std::string name() const override { return inner_->name(); }
+  ProofSpec spec() const override { return inner_->spec(); }
+  std::unique_ptr<Evaluator> make_evaluator(const FieldOps& f) const override {
+    class SlowEvaluator final : public Evaluator {
+     public:
+      SlowEvaluator(std::unique_ptr<Evaluator> inner,
+                    std::chrono::milliseconds delay, const FieldOps& f)
+          : Evaluator(f), inner_(std::move(inner)), delay_(delay) {}
+      u64 eval(u64 x0) override { return inner_->eval(x0); }
+      std::vector<u64> evaluate_points(std::span<const u64> xs) override {
+        std::this_thread::sleep_for(delay_);
+        return inner_->evaluate_points(xs);
+      }
+
+     private:
+      std::unique_ptr<Evaluator> inner_;
+      std::chrono::milliseconds delay_;
+    };
+    return std::make_unique<SlowEvaluator>(inner_->make_evaluator(f),
+                                           per_chunk_, f);
+  }
+  std::vector<u64> recover(const Poly& proof,
+                           const PrimeField& f) const override {
+    return inner_->recover(proof, f);
+  }
+
+ private:
+  std::shared_ptr<const CamelotProblem> inner_;
+  std::chrono::milliseconds per_chunk_;
+};
+
 TEST(ProofService, DeadlineExpiresQueuedJob) {
   ProofService service({.num_workers = 1});
   ClusterConfig cfg;
@@ -264,12 +315,21 @@ TEST(ProofService, DeadlineExpiresQueuedJob) {
   cfg.redundancy = 2.0;
   auto problems = four_problems();
 
-  // Occupy the single worker, then queue a job whose deadline will
-  // have passed by the time the worker reaches it.
+  // Occupy the single worker with slow evaluators (the systematic
+  // fast path made the plain problems finish in well under a
+  // millisecond), then queue a job whose deadline will have passed by
+  // the time the worker reaches it. The sleep lets the worker sink
+  // into the first blocker chunk before the doomed job is submitted —
+  // deadline-bearing tasks sort ahead of deadline-less ones, so an
+  // idle worker would otherwise run the doomed job first.
   std::vector<std::future<RunReport>> blockers;
   for (int i = 0; i < 3; ++i) {
-    blockers.push_back(service.submit(problems[i % problems.size()], cfg));
+    blockers.push_back(service.submit(
+        std::make_shared<SlowProblem>(problems[i % problems.size()],
+                                      std::chrono::milliseconds(30)),
+        cfg));
   }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
   SubmitOptions doomed;
   doomed.deadline = std::chrono::milliseconds(1);
   std::future<RunReport> expired =
@@ -364,44 +424,6 @@ TEST(ProofService, JobExceptionsPropagateThroughFuture) {
   EXPECT_EQ(stats.submitted, 2u);
   EXPECT_EQ(stats.completed, 1u);
 }
-
-// Delegating problem whose evaluators sleep before each chunk: keeps
-// a job in flight long enough for its deadline to expire mid-prime.
-class SlowProblem final : public CamelotProblem {
- public:
-  SlowProblem(std::shared_ptr<const CamelotProblem> inner,
-              std::chrono::milliseconds per_chunk)
-      : inner_(std::move(inner)), per_chunk_(per_chunk) {}
-  std::string name() const override { return inner_->name(); }
-  ProofSpec spec() const override { return inner_->spec(); }
-  std::unique_ptr<Evaluator> make_evaluator(const FieldOps& f) const override {
-    class SlowEvaluator final : public Evaluator {
-     public:
-      SlowEvaluator(std::unique_ptr<Evaluator> inner,
-                    std::chrono::milliseconds delay, const FieldOps& f)
-          : Evaluator(f), inner_(std::move(inner)), delay_(delay) {}
-      u64 eval(u64 x0) override { return inner_->eval(x0); }
-      std::vector<u64> evaluate_points(std::span<const u64> xs) override {
-        std::this_thread::sleep_for(delay_);
-        return inner_->evaluate_points(xs);
-      }
-
-     private:
-      std::unique_ptr<Evaluator> inner_;
-      std::chrono::milliseconds delay_;
-    };
-    return std::make_unique<SlowEvaluator>(inner_->make_evaluator(f),
-                                           per_chunk_, f);
-  }
-  std::vector<u64> recover(const Poly& proof,
-                           const PrimeField& f) const override {
-    return inner_->recover(proof, f);
-  }
-
- private:
-  std::shared_ptr<const CamelotProblem> inner_;
-  std::chrono::milliseconds per_chunk_;
-};
 
 TEST(ProofService, DeadlineExpiryStopsInFlightPrimes) {
   // One worker, one job: the worker starts the job while its deadline

@@ -286,6 +286,128 @@ TEST(ProofSession, SharedFieldCacheIsReused) {
   expect_reports_equal(first, second);
 }
 
+TEST(ProofSession, SystematicEncodeMatchesFullEvaluation) {
+  // The fast path must be invisible to everything downstream: the
+  // degree-<=d interpolant through the d+1 honest message symbols is
+  // the proof polynomial itself, so the extended codeword carries the
+  // same words the parity nodes would have evaluated.
+  for (int which : {0, 2}) {
+    const AppCase app = make_app_problem(which);
+    ClusterConfig cfg = small_config();
+    ASSERT_TRUE(cfg.systematic_encode);
+    ProofSession fast(*app.problem, cfg);
+    cfg.systematic_encode = false;
+    ProofSession full(*app.problem, cfg);
+    fast.prepare();
+    full.prepare();
+    ASSERT_EQ(fast.num_primes(), full.num_primes());
+    for (std::size_t pi = 0; pi < fast.num_primes(); ++pi) {
+      EXPECT_EQ(fast.sent(pi), full.sent(pi)) << "prime " << pi;
+    }
+    RunReport a = fast.run();
+    RunReport b = full.run();
+    ASSERT_TRUE(a.success);
+    expect_reports_equal(a, b);
+  }
+}
+
+// Channel that adds 1 to the symbols at fixed positions — targeted
+// corruption for exercising specific codeword regions.
+class FlipChannel final : public SymbolChannel {
+ public:
+  explicit FlipChannel(std::vector<std::size_t> positions)
+      : positions_(std::move(positions)) {}
+  std::vector<u64> deliver(std::span<const u64> sent,
+                           std::span<const std::size_t>, std::span<const u64>,
+                           const PrimeField& f, u64) const override {
+    std::vector<u64> out(sent.begin(), sent.end());
+    for (std::size_t pos : positions_) out[pos] = f.add(out[pos], 1);
+    return out;
+  }
+
+ private:
+  std::vector<std::size_t> positions_;
+};
+
+TEST(ProofSession, CorruptedMessageAndParityChunksBothRecover) {
+  // On the systematic path the message prefix ships evaluator output
+  // and the parity tail ships the code extension; corruption in
+  // either region must decode away, and a selective re-run of the
+  // poisoned prime must still work.
+  const AppCase app = make_app_problem(0);
+  ClusterConfig cfg = small_config(/*nodes=*/6, /*redundancy=*/3.0);
+  ASSERT_TRUE(cfg.systematic_encode);
+  ProofSession s(*app.problem, cfg);
+  s.prepare();
+
+  const std::size_t e = s.plan().code_length;
+  const std::size_t m = app.problem->spec().degree_bound + 1;
+  ASSERT_LT(m, e);  // there is a parity tail to corrupt
+  const std::size_t msg_pos = m / 2;
+  const std::size_t par_pos = e - 1;
+  FlipChannel flip({msg_pos, par_pos});
+  for (std::size_t pi = 0; pi < s.num_primes(); ++pi) {
+    s.transport_prime(pi, flip);
+  }
+  s.decode().verify().recover();
+  EXPECT_TRUE(s.complete());
+  for (std::size_t pi = 0; pi < s.num_primes(); ++pi) {
+    EXPECT_EQ(s.prime_report(pi).decode_status, DecodeStatus::kOk);
+    EXPECT_EQ(s.prime_report(pi).corrected_symbols,
+              (std::vector<std::size_t>{msg_pos, par_pos}));
+    EXPECT_GT(s.prime_report(pi).decode_quotient_steps, 0u);
+    EXPECT_GE(s.prime_report(pi).decode_hgcd_calls, 1u);
+  }
+  const RunReport corrupted = s.report();
+  ASSERT_TRUE(corrupted.success);
+
+  // Selective re-run of one prime over a clean channel: the prepared
+  // (systematically extended) codeword is still in place, so only
+  // transport/decode/verify/recover repeat — and correct nothing.
+  s.transport_prime(0, LosslessChannel());
+  s.decode_prime(0);
+  EXPECT_TRUE(s.prime_report(0).corrected_symbols.empty());
+  EXPECT_EQ(s.prime_report(0).decode_quotient_steps, 0u);
+  s.verify_prime(0);
+  s.recover_prime(0);
+  EXPECT_TRUE(s.complete());
+  // Same answers as the corrupted-then-corrected pass (the clean
+  // re-run differs only in having nothing to correct).
+  const RunReport rerun = s.report();
+  ASSERT_TRUE(rerun.success);
+  ASSERT_EQ(rerun.answers.size(), corrupted.answers.size());
+  for (std::size_t i = 0; i < rerun.answers.size(); ++i) {
+    EXPECT_EQ(rerun.answers[i], corrupted.answers[i]);
+  }
+  for (std::size_t pi = 0; pi < s.num_primes(); ++pi) {
+    EXPECT_EQ(rerun.per_prime[pi].answer_residues,
+              corrupted.per_prime[pi].answer_residues);
+  }
+}
+
+TEST(ProofSession, CancelledStreamingPrimeResetsAndReruns) {
+  // In-flight deadline cancellation through the systematic deferral:
+  // the cancel probe fires at a chunk boundary after some message
+  // chunks were computed, the prime resets to kCreated, and a re-run
+  // with a fresh budget completes normally.
+  const AppCase app = make_app_problem(0);
+  ClusterConfig cfg = small_config();
+  cfg.num_threads = 1;  // deterministic probe sequence
+  ASSERT_TRUE(cfg.systematic_encode);
+  ProofSession s(*app.problem, cfg);
+  LosslessStreamingChannel channel;
+
+  int probes = 0;
+  SessionCancelFn cancel = [&probes] { return ++probes > 2; };
+  EXPECT_THROW(s.run_prime_streaming(0, channel, cancel), SessionCancelled);
+  EXPECT_EQ(s.stage(0), SessionStage::kCreated);
+
+  s.run_prime_streaming(0, channel);
+  EXPECT_EQ(s.stage(0), SessionStage::kRecovered);
+  EXPECT_TRUE(s.prime_report(0).verified);
+  EXPECT_EQ(s.prime_report(0).decode_status, DecodeStatus::kOk);
+}
+
 TEST(DeriveStream, StreamsAreDistinctAndStable) {
   const u64 a = derive_stream(1, 97, PipelineStage::kVerify);
   EXPECT_EQ(a, derive_stream(1, 97, PipelineStage::kVerify));
