@@ -28,6 +28,8 @@
 #include "core/proof_service.hpp"
 #include "core/proof_session.hpp"
 #include "core/symbol_stream.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace camelot {
 namespace {
@@ -102,6 +104,10 @@ int main(int argc, char** argv) {
 
   std::vector<Entry> entries;
   bool behaviour_ok = true;
+  // Prometheus text snapshot of the throughput/latency service's
+  // registry, rendered while that service is alive and written next to
+  // the JSON (CI uploads it alongside BENCH_service.json).
+  std::string prom_snapshot;
 
   // --- calibration (machine-speed reference, frozen) ----------------------
   {
@@ -167,35 +173,30 @@ int main(int argc, char** argv) {
         {"service_throughput", {{"jobs_per_sec", 1e9 / ns_per_job}}});
 
     // --- latency under the same concurrent batch --------------------------
+    // Measured by the service's own camelot_job_latency_seconds
+    // histogram: snapshot before the batch, window the batch out with
+    // delta_since, read bucket-interpolated quantiles — the same
+    // numbers a Prometheus scrape of a production service shows.
+    obs::Histogram& latency_hist =
+        service.metrics()->histogram("camelot_job_latency_seconds");
+    const obs::Histogram::Snapshot before = latency_hist.snapshot();
     std::vector<std::future<RunReport>> futures;
-    std::vector<std::chrono::steady_clock::time_point> submitted(kJobs);
-    std::vector<double> latency_ns(kJobs, 0.0);
-    std::vector<bool> done(kJobs, false);
     futures.reserve(kJobs);
     for (std::size_t i = 0; i < kJobs; ++i) {
-      submitted[i] = std::chrono::steady_clock::now();
       futures.push_back(service.submit(problems[i], cfg));
     }
-    std::size_t remaining = kJobs;
-    while (remaining > 0) {
-      for (std::size_t i = 0; i < kJobs; ++i) {
-        if (done[i]) continue;
-        if (futures[i].wait_for(std::chrono::milliseconds(1)) ==
-            std::future_status::ready) {
-          latency_ns[i] = std::chrono::duration<double, std::nano>(
-                              std::chrono::steady_clock::now() - submitted[i])
-                              .count();
-          if (!futures[i].get().success) behaviour_ok = false;
-          done[i] = true;
-          --remaining;
-        }
-      }
+    for (auto& f : futures) {
+      if (!f.get().success) behaviour_ok = false;
     }
-    std::sort(latency_ns.begin(), latency_ns.end());
-    const double p50 = latency_ns[kJobs / 2];
-    const double p95 = latency_ns[std::min(kJobs - 1, (kJobs * 95) / 100)];
+    const obs::Histogram::Snapshot batch =
+        latency_hist.snapshot().delta_since(before);
+    if (batch.count() != kJobs) behaviour_ok = false;
+    const double p50 = batch.quantile(0.50) * 1e9;
+    const double p95 = batch.quantile(0.95) * 1e9;
     entries.push_back(
         {"service_latency", {{"p50_ns", p50}, {"p95_ns", p95}}});
+
+    prom_snapshot = obs::render_prometheus(*service.metrics());
   }
 
   // --- overload: bounded queue must shed load, accepted jobs must land ----
@@ -244,6 +245,24 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "  }\n}\n");
   std::fclose(out);
+
+  // Prometheus text next to the JSON: <out>.prom, or BENCH_service.prom
+  // when the output has the default .json suffix.
+  std::string prom_path = out_path;
+  const std::string json_suffix = ".json";
+  if (prom_path.size() > json_suffix.size() &&
+      prom_path.compare(prom_path.size() - json_suffix.size(),
+                        json_suffix.size(), json_suffix) == 0) {
+    prom_path.resize(prom_path.size() - json_suffix.size());
+  }
+  prom_path += ".prom";
+  if (std::FILE* prom = std::fopen(prom_path.c_str(), "w")) {
+    std::fwrite(prom_snapshot.data(), 1, prom_snapshot.size(), prom);
+    std::fclose(prom);
+  } else {
+    std::fprintf(stderr, "cannot open %s\n", prom_path.c_str());
+    return 1;
+  }
 
   for (const Entry& e : entries) {
     std::printf("%s:", e.name.c_str());

@@ -12,11 +12,14 @@ shared CI runners). Metric direction follows the key suffix:
 Other keys (``speedup``, job counts, ...) are informational and never
 gated. Benchmarks or metrics present on only one side are reported but
 never fail the gate — e.g. the ``*_avx2`` entries are absent when the
-runner lacks AVX2.
+runner lacks AVX2, and a metric present only in the current run (a
+newly added instrument whose baseline has not been refreshed yet) is
+surfaced as ``[new]`` so the refresh is not forgotten.
 
 Usage:
     check_bench.py BASELINE CURRENT [--max-regression 0.25]
                    [--calibrate BENCH.METRIC]
+    check_bench.py --self-test
 
 ``--calibrate`` rescales every baseline metric by the CURRENT/BASELINE
 ratio of one reference metric before comparing, turning the absolute
@@ -28,6 +31,11 @@ inside the bench binary (frozen seed code, independent of the
 library), so their drift measures the runner's speed and compiler, not
 the change under test. Time-like baselines are multiplied by the
 scale; rate-like (``*_per_sec``) baselines are divided by it.
+
+``--self-test`` runs the gate against synthetic in-memory data
+(pass/regress/calibration/new-metric cases) and exits nonzero if the
+gate logic itself is broken; CI runs it before trusting the real
+comparison.
 
 Refresh a baseline by committing a new BENCH_*.json produced by the
 corresponding bench binary (without --quick) on a quiet machine.
@@ -52,10 +60,168 @@ def direction(key):
     return None
 
 
+def compare(base, cur, max_regression=0.25, calibrate=None, out=sys.stdout):
+    """Gate ``cur`` against ``base`` (the ``benchmarks`` dicts).
+
+    Returns the process exit code (0 = within budget).
+    """
+    scale = 1.0
+    if calibrate:
+        bench_name, _, metric = calibrate.partition(".")
+        try:
+            ref_base = base[bench_name][metric]
+            ref_cur = cur[bench_name][metric]
+        except KeyError:
+            print(
+                f"error: calibration metric {calibrate} missing "
+                "from baseline or current run",
+                file=sys.stderr,
+            )
+            return 1
+        scale = ref_cur / ref_base
+        print(
+            f"calibrating baseline by {calibrate}: "
+            f"{ref_base:.2f} -> {ref_cur:.2f} ns/op (scale {scale:.3f})",
+            file=out,
+        )
+
+    failures = []
+    compared = 0
+    for name in sorted(set(base) | set(cur)):
+        if name not in base or name not in cur:
+            side = "baseline" if name in base else "current"
+            print(f"  [skip] {name}: only present in {side}", file=out)
+            continue
+        for key, raw_base in base[name].items():
+            sense = direction(key)
+            if sense is None:
+                continue
+            # Time-like baselines scale with the machine; rate-like
+            # ones scale inversely.
+            base_val = raw_base * scale if sense == "lower" else raw_base / scale
+            cur_val = cur[name].get(key)
+            if cur_val is None:
+                print(f"  [skip] {name}.{key}: missing in current", file=out)
+                continue
+            compared += 1
+            if sense == "lower":
+                ratio = cur_val / base_val if base_val else float("inf")
+            else:
+                ratio = base_val / cur_val if cur_val else float("inf")
+            status = "ok"
+            if ratio > 1.0 + max_regression:
+                status = "REGRESSED"
+                failures.append((name, key, base_val, cur_val, ratio))
+            print(
+                f"  [{status:>9}] {name}.{key}: "
+                f"{base_val:.2f} -> {cur_val:.2f} ({ratio:.2f}x "
+                f"{'slowdown' if sense == 'lower' else 'rate drop'})",
+                file=out,
+            )
+        # Gated metrics only the current run carries: warn, never fail —
+        # the instrument is new and its baseline needs a refresh.
+        for key in cur[name]:
+            if key not in base[name] and direction(key) is not None:
+                print(
+                    f"  [new] {name}.{key}: not in baseline "
+                    "(refresh the committed BENCH file to gate it)",
+                    file=out,
+                )
+
+    if compared == 0:
+        print("error: no comparable gated metrics found", file=sys.stderr)
+        return 1
+    if failures:
+        print(
+            f"\n{len(failures)} metric(s) regressed more than "
+            f"{max_regression:.0%} vs baseline:",
+            file=sys.stderr,
+        )
+        for name, key, base_val, cur_val, ratio in failures:
+            print(
+                f"  {name}.{key}: {base_val:.2f} -> {cur_val:.2f} "
+                f"({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"\nall {compared} gated metrics within "
+        f"{max_regression:.0%} of baseline",
+        file=out,
+    )
+    return 0
+
+
+def self_test():
+    """Exercise the gate against synthetic data; returns exit code."""
+    import io
+
+    sink = io.StringIO()
+    base = {
+        "mul": {"division_ns_per_op": 100.0, "ntt_ns_per_op": 50.0},
+        "svc": {"jobs_per_sec": 20.0, "speedup": 2.0},
+    }
+
+    checks = []
+
+    def check(label, got, want):
+        ok = got == want
+        checks.append((label, ok, got, want))
+
+    # Identical runs pass.
+    check("identical passes", compare(base, base, out=sink), 0)
+    # A >25% slowdown on a lower-is-better metric fails.
+    slow = {"mul": {"division_ns_per_op": 140.0, "ntt_ns_per_op": 50.0},
+            "svc": dict(base["svc"])}
+    check("slowdown fails", compare(base, slow, out=sink), 1)
+    # The same slowdown passes with a wider budget.
+    check("wide budget passes", compare(base, slow, 0.50, out=sink), 0)
+    # A rate drop on a higher-is-better metric fails.
+    drop = {"mul": dict(base["mul"]), "svc": {"jobs_per_sec": 10.0}}
+    check("rate drop fails", compare(base, drop, out=sink), 1)
+    # Calibration forgives a uniform machine slowdown.
+    half = {
+        "mul": {"division_ns_per_op": 200.0, "ntt_ns_per_op": 100.0},
+        "svc": {"jobs_per_sec": 10.0, "speedup": 2.0},
+    }
+    check(
+        "calibration forgives uniform slowdown",
+        compare(base, half, calibrate="mul.division_ns_per_op", out=sink),
+        0,
+    )
+    # Ungated keys (speedup) never fail.
+    worse_speedup = {"mul": dict(base["mul"]),
+                     "svc": {"jobs_per_sec": 20.0, "speedup": 0.5}}
+    check("ungated key ignored", compare(base, worse_speedup, out=sink), 0)
+    # A gated metric only in the current run warns but passes.
+    sink_new = io.StringIO()
+    extra = {"mul": {**base["mul"], "p95_ns": 123.0}, "svc": dict(base["svc"])}
+    code = compare(base, extra, out=sink_new)
+    check("new metric passes", code, 0)
+    check("new metric warned", "[new] mul.p95_ns" in sink_new.getvalue(), True)
+    # A benchmark only in the baseline skips without failing.
+    missing = {"svc": dict(base["svc"])}
+    check("missing benchmark skips", compare(base, missing, out=sink), 0)
+    # Nothing comparable at all is an error.
+    check("nothing comparable errors", compare({}, {}, out=sink), 1)
+
+    failed = [c for c in checks if not c[1]]
+    for label, ok, got, want in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}"
+              + ("" if ok else f": got {got!r}, want {want!r}"))
+    if failed:
+        print(f"\nself-test: {len(failed)}/{len(checks)} checks failed",
+              file=sys.stderr)
+        return 1
+    print(f"\nself-test: all {len(checks)} checks passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_*.json")
-    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument("baseline", nargs="?", help="committed BENCH_*.json")
+    parser.add_argument("current", nargs="?",
+                        help="freshly produced BENCH_*.json")
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -68,82 +234,21 @@ def main():
         help="rescale the baseline by this reference metric's "
         "current/baseline ratio (machine-speed normalization)",
     )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the gate against synthetic data and exit",
+    )
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required (or --self-test)")
 
     base = load(args.baseline).get("benchmarks", {})
     cur = load(args.current).get("benchmarks", {})
-
-    scale = 1.0
-    if args.calibrate:
-        bench_name, _, metric = args.calibrate.partition(".")
-        try:
-            ref_base = base[bench_name][metric]
-            ref_cur = cur[bench_name][metric]
-        except KeyError:
-            print(
-                f"error: calibration metric {args.calibrate} missing "
-                "from baseline or current run",
-                file=sys.stderr,
-            )
-            return 1
-        scale = ref_cur / ref_base
-        print(
-            f"calibrating baseline by {args.calibrate}: "
-            f"{ref_base:.2f} -> {ref_cur:.2f} ns/op (scale {scale:.3f})"
-        )
-
-    failures = []
-    compared = 0
-    for name in sorted(set(base) | set(cur)):
-        if name not in base or name not in cur:
-            side = "baseline" if name in base else "current"
-            print(f"  [skip] {name}: only present in {side}")
-            continue
-        for key, raw_base in base[name].items():
-            sense = direction(key)
-            if sense is None:
-                continue
-            # Time-like baselines scale with the machine; rate-like
-            # ones scale inversely.
-            base_val = raw_base * scale if sense == "lower" else raw_base / scale
-            cur_val = cur[name].get(key)
-            if cur_val is None:
-                print(f"  [skip] {name}.{key}: missing in current")
-                continue
-            compared += 1
-            if sense == "lower":
-                ratio = cur_val / base_val if base_val else float("inf")
-            else:
-                ratio = base_val / cur_val if cur_val else float("inf")
-            status = "ok"
-            if ratio > 1.0 + args.max_regression:
-                status = "REGRESSED"
-                failures.append((name, key, base_val, cur_val, ratio))
-            print(
-                f"  [{status:>9}] {name}.{key}: "
-                f"{base_val:.2f} -> {cur_val:.2f} ({ratio:.2f}x "
-                f"{'slowdown' if sense == 'lower' else 'rate drop'})"
-            )
-
-    if compared == 0:
-        print("error: no comparable gated metrics found", file=sys.stderr)
-        return 1
-    if failures:
-        print(
-            f"\n{len(failures)} metric(s) regressed more than "
-            f"{args.max_regression:.0%} vs baseline:",
-            file=sys.stderr,
-        )
-        for name, key, base_val, cur_val, ratio in failures:
-            print(
-                f"  {name}.{key}: {base_val:.2f} -> {cur_val:.2f} "
-                f"({ratio:.2f}x)",
-                file=sys.stderr,
-            )
-        return 1
-    print(f"\nall {compared} gated metrics within "
-          f"{args.max_regression:.0%} of baseline")
-    return 0
+    return compare(base, cur, args.max_regression, args.calibrate)
 
 
 if __name__ == "__main__":

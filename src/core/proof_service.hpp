@@ -20,12 +20,29 @@
 // -> recover) through a StreamingSymbolChannel, overlapping stages
 // that the barrier pipeline serialized.
 //
-// Backpressure: the submit queue can be bounded (max_pending_jobs);
+// Backpressure: the submit queue can be bounded globally
+// (max_pending_jobs) and per priority class (max_pending_by_priority);
 // an overflowing submit() resolves its future immediately with
 // JobStatus::kRejected rather than queueing unboundedly. Jobs may
 // carry a deadline; a job whose deadline passes before it finishes
 // resolves with JobStatus::kDeadlineExpired. Priorities order the
 // queue (higher first, FIFO within a priority).
+//
+// Adaptive admission: once enough jobs have completed to calibrate the
+// camelot_job_latency_seconds histogram, a deadline-carrying submit is
+// checked against the histogram's p95 scaled by the current queue
+// pressure; a job that is predicted to miss its deadline is shed at
+// submit (JobStatus::kRejected) instead of burning a worker on work
+// the submitter will never observe. Setting max_workers > 0 turns the
+// fixed pool into an autoscaler: submit grows the pool while the task
+// queue outruns the active workers, and workers that stay idle for
+// autoscale_idle retire themselves down to min_workers.
+//
+// Every counter the service maintains lives in an obs::Registry (one
+// per service, reachable via metrics()); Stats is a point-in-time view
+// over that registry, and the same registry feeds the per-stage span
+// histograms of every session the service runs — so one Prometheus or
+// JSON scrape covers admission, queueing and stage latency together.
 //
 // Determinism: results depend only on (problem, config), never on
 // worker interleaving, because all per-run randomness is derived from
@@ -38,6 +55,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -51,6 +69,7 @@
 #include "core/prime_plan.hpp"
 #include "core/proof_problem.hpp"
 #include "field/field_cache.hpp"
+#include "obs/metrics.hpp"
 #include "rs/code_cache.hpp"
 
 namespace camelot {
@@ -65,6 +84,28 @@ struct ProofServiceConfig {
   // When the bound is reached, submit() resolves the returned future
   // immediately with JobStatus::kRejected.
   std::size_t max_pending_jobs = 0;
+  // Per-priority pending bounds: a priority with an entry here is
+  // capped at that many admitted-but-unsettled jobs of the same
+  // priority, so a flood of low-priority work cannot exhaust the
+  // global bound and starve urgent submits. Priorities without an
+  // entry fall back to max_pending_jobs alone; the global bound (when
+  // nonzero) still caps the total across all priorities.
+  std::map<int, std::size_t> max_pending_by_priority;
+  // Latency-aware shedding: when a submit carries a deadline and the
+  // job-latency histogram holds at least shed_min_samples completions,
+  // reject at submit if p95 * (1 + pending/workers) already exceeds
+  // the deadline. Calibration-gated so a fresh service (no history)
+  // never sheds.
+  bool latency_shedding = true;
+  std::size_t shed_min_samples = 8;
+  // Worker autoscaling. 0 = fixed pool of num_workers (the default);
+  // otherwise the pool starts at min_workers (or num_workers, clamped
+  // into [min_workers, max_workers], when num_workers is set), submit
+  // grows it while queued tasks outnumber active workers, and a worker
+  // idle for autoscale_idle retires itself down to min_workers.
+  unsigned max_workers = 0;
+  unsigned min_workers = 1;
+  std::chrono::milliseconds autoscale_idle{200};
 };
 
 // Per-job scheduling knobs for ProofService::submit.
@@ -111,16 +152,32 @@ class ProofService {
     return codes_;
   }
 
+  // Point-in-time view over the service's metrics registry (see
+  // metrics()); every field is backed by a named counter or gauge
+  // there, so a Prometheus/JSON scrape and a stats() call agree.
   struct Stats {
     std::size_t submitted = 0;  // admitted jobs (excludes rejections)
     std::size_t completed = 0;  // jobs that ran to completion
-    std::size_t rejected = 0;   // bounded-queue rejections
-    std::size_t expired = 0;    // deadline expiries (queued or in-flight)
+    std::size_t rejected = 0;   // bound or shed rejections (total)
+    std::size_t expired = 0;    // legacy view: expired_queued +
+                                // cancelled_inflight
     std::size_t plan_cache_hits = 0;
     std::size_t plan_cache_misses = 0;
     // Largest number of per-prime tasks ever resident in the queue —
     // the capacity-planning signal for num_workers/max_pending_jobs.
     std::size_t queue_depth_high_water = 0;
+    // Deadline expiries split by where the job was caught: still
+    // queued (no work lost) vs cancelled mid-prime (partial work
+    // thrown away). Their sum is the legacy `expired`.
+    std::size_t expired_queued = 0;
+    std::size_t cancelled_inflight = 0;
+    // Rejections from predictive shedding specifically (also counted
+    // in `rejected`).
+    std::size_t shed_infeasible = 0;
+    // Autoscaler observability: current pool size and the largest it
+    // ever grew.
+    std::size_t workers_active = 0;
+    std::size_t workers_peak = 0;
     // Gao-decoder work aggregated over completed jobs' primes:
     // genuine Euclidean quotient steps, and entries into the half-GCD
     // routine (one per decode when the remainder sequence stays below
@@ -136,6 +193,14 @@ class ProofService {
     CodeCache::Stats code_cache;
   };
   Stats stats() const;
+
+  // The service's metrics registry: admission/queue counters, the
+  // camelot_job_latency_seconds histogram the shedder predicts from,
+  // and the per-stage span histograms of every session this service
+  // runs. Render it with obs::render_prometheus / obs::render_json.
+  const std::shared_ptr<obs::Registry>& metrics() const noexcept {
+    return metrics_;
+  }
 
  private:
   struct Job;
@@ -165,12 +230,34 @@ class ProofService {
 
   std::shared_ptr<const PrimePlan> plan_for(const ProofSpec& spec,
                                             const ClusterConfig& config);
-  void worker_loop();
+  void worker_loop(std::uint64_t worker_id);
   void run_task(const Task& task);
+  void spawn_worker_locked();
+  void settle_pending_locked(int priority);
+  void reap_retired();
 
   ProofServiceConfig config_;
   std::shared_ptr<FieldCache> cache_;
   std::shared_ptr<CodeCache> codes_;
+
+  // Registry plus pre-resolved metric handles (stable addresses, so
+  // the hot paths below never take the registry lock).
+  std::shared_ptr<obs::Registry> metrics_;
+  obs::Counter* jobs_submitted_ = nullptr;
+  obs::Counter* jobs_completed_ = nullptr;
+  obs::Counter* jobs_rejected_ = nullptr;
+  obs::Counter* jobs_shed_infeasible_ = nullptr;
+  obs::Counter* jobs_expired_queued_ = nullptr;
+  obs::Counter* jobs_cancelled_inflight_ = nullptr;
+  obs::Counter* plan_cache_hits_ = nullptr;
+  obs::Counter* plan_cache_misses_ = nullptr;
+  obs::Counter* decode_quotient_steps_ = nullptr;
+  obs::Counter* decode_hgcd_calls_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* queue_depth_high_water_ = nullptr;
+  obs::Gauge* workers_active_gauge_ = nullptr;
+  obs::Gauge* workers_peak_ = nullptr;
+  obs::Histogram* job_latency_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -178,10 +265,16 @@ class ProofService {
   std::priority_queue<Task, std::vector<Task>, TaskOrder> tasks_;
   std::uint64_t next_seq_ = 0;
   std::size_t pending_jobs_ = 0;  // admitted, not yet settled
+  std::map<int, std::size_t> pending_by_priority_;
   std::unordered_map<std::string, std::shared_ptr<const PrimePlan>> plans_;
-  Stats stats_;
 
-  std::vector<std::thread> workers_;
+  // Worker pool. Keyed by id so an autoscaled worker can retire its
+  // own thread object into retired_ (joined later off-thread by
+  // submit()/the dtor); a fixed pool (max_workers == 0) never retires.
+  std::uint64_t next_worker_id_ = 0;
+  std::size_t active_workers_ = 0;
+  std::unordered_map<std::uint64_t, std::thread> workers_;
+  std::vector<std::thread> retired_;
 };
 
 }  // namespace camelot

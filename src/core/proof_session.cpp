@@ -12,6 +12,7 @@
 #include "core/rng.hpp"
 #include "core/verifier.hpp"
 #include "field/crt.hpp"
+#include "obs/trace.hpp"
 
 namespace camelot {
 
@@ -86,12 +87,20 @@ std::vector<u64> AdversarialChannel::deliver(
 ProofSession::ProofSession(const CamelotProblem& problem, ClusterConfig config,
                            std::shared_ptr<FieldCache> cache,
                            std::shared_ptr<const PrimePlan> plan,
-                           std::shared_ptr<CodeCache> codes)
+                           std::shared_ptr<CodeCache> codes,
+                           std::shared_ptr<obs::Registry> metrics)
     : problem_(problem),
       config_(config),
       spec_(problem.spec()),
       cache_(cache != nullptr ? std::move(cache) : FieldCache::global()),
-      codes_(codes != nullptr ? std::move(codes) : CodeCache::global()) {
+      codes_(codes != nullptr ? std::move(codes) : CodeCache::global()),
+      metrics_(metrics != nullptr ? std::move(metrics)
+                                  : obs::Registry::global()) {
+  stage_prepare_ = &metrics_->histogram("camelot_stage_prepare_seconds");
+  stage_transport_ = &metrics_->histogram("camelot_stage_transport_seconds");
+  stage_decode_ = &metrics_->histogram("camelot_stage_decode_seconds");
+  stage_verify_ = &metrics_->histogram("camelot_stage_verify_seconds");
+  stage_recover_ = &metrics_->histogram("camelot_stage_recover_seconds");
   if (config_.num_nodes == 0) {
     throw std::invalid_argument("ProofSession: need at least one node");
   }
@@ -199,6 +208,10 @@ std::vector<u64> ProofSession::evaluate_node_range(PrimeState& st,
                                                    std::size_t lo,
                                                    std::size_t hi) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Span granularity: one prepare observation per node chunk — both
+  // the barrier and the streaming pipeline evaluate through here, so
+  // the histogram is fed identically on either path.
+  obs::StageSpan span(stage_prepare_, obs::kTraceSched, "prepare", st.prime);
   auto evaluator = problem_.make_evaluator(st.ops);
   // One batched call for the whole range so the evaluator can
   // amortize its point-independent work.
@@ -246,6 +259,7 @@ void ProofSession::apply_decode(PrimeState& st, GaoResult decoded) {
 }
 
 void ProofSession::apply_verify(PrimeState& st) {
+  obs::StageSpan span(stage_verify_, obs::kTraceSched, "verify", st.prime);
   st.report.verified = false;
   if (st.decoded.status == DecodeStatus::kOk) {
     VerifyResult vr = verify_proof(
@@ -258,6 +272,7 @@ void ProofSession::apply_verify(PrimeState& st) {
 }
 
 void ProofSession::apply_recover(PrimeState& st) {
+  obs::StageSpan span(stage_recover_, obs::kTraceSched, "recover", st.prime);
   st.report.answer_residues.clear();
   if (st.report.verified) {
     st.report.answer_residues =
@@ -321,6 +336,8 @@ void ProofSession::transport_prime(std::size_t prime_index,
   WallTimer wt(&wall_seconds_);
   state_at_least(prime_index, SessionStage::kPrepared, "transport_prime");
   PrimeState& st = state_at(prime_index);
+  obs::StageSpan span(stage_transport_, obs::kTraceSched, "transport",
+                      st.prime);
   st.received = channel.deliver(
       st.sent, owners_, st.code->points(), st.ops.prime(),
       derive_stream(config_.seed, st.prime, PipelineStage::kTransport));
@@ -336,7 +353,12 @@ void ProofSession::decode_prime(std::size_t prime_index) {
   WallTimer wt(&wall_seconds_);
   state_at_least(prime_index, SessionStage::kTransported, "decode_prime");
   PrimeState& st = state_at(prime_index);
-  apply_decode(st, gao_decode(*st.code, st.received));
+  GaoResult decoded;
+  {
+    obs::StageSpan span(stage_decode_, obs::kTraceSched, "decode", st.prime);
+    decoded = gao_decode(*st.code, st.received);
+  }
+  apply_decode(st, std::move(decoded));
 }
 
 // ---- Step 3: checking the putative proof for correctness ----------------
@@ -463,7 +485,12 @@ void ProofSession::finalize_prime_stream(PrimeState& st,
   }
   st.received = decoder.received();
   st.stage = SessionStage::kTransported;
-  apply_decode(st, decoder.finish());
+  GaoResult decoded;
+  {
+    obs::StageSpan span(stage_decode_, obs::kTraceSched, "decode", st.prime);
+    decoded = decoder.finish();
+  }
+  apply_decode(st, std::move(decoded));
   apply_verify(st);
   apply_recover(st);
 }
@@ -502,7 +529,11 @@ void ProofSession::run_prime_streaming(std::size_t prime_index,
     stream->push(std::move(chunk));
     if (nodes_done.fetch_add(1) + 1 == k) stream->close();
     std::lock_guard<std::mutex> lock(absorb_mu);
-    while (auto c = stream->poll()) decoder.absorb(c->offset, c->symbols);
+    while (auto c = stream->poll()) {
+      obs::StageSpan span(stage_transport_, obs::kTraceSched, "absorb",
+                          st.prime);
+      decoder.absorb(c->offset, c->symbols);
+    }
   };
   auto worker = [&]() {
     try {
@@ -559,7 +590,11 @@ void ProofSession::run_prime_streaming(std::size_t prime_index,
     // can hold a prime here for a long time).
     while (!stream->exhausted()) {
       if (cancel && cancel()) throw SessionCancelled();
-      if (auto c = stream->poll()) decoder.absorb(c->offset, c->symbols);
+      if (auto c = stream->poll()) {
+        obs::StageSpan span(stage_transport_, obs::kTraceSched, "absorb",
+                            st.prime);
+        decoder.absorb(c->offset, c->symbols);
+      }
     }
   } catch (const SessionCancelled&) {
     reset_prime(prime_index);  // leave no half-prepared stage behind
@@ -605,11 +640,15 @@ RunReport ProofSession::run_streaming(const StreamingSymbolChannel& channel) {
       if (to_exhaustion) {
         while (!fl.stream->exhausted()) {
           if (auto c = fl.stream->poll()) {
+            obs::StageSpan span(stage_transport_, obs::kTraceSched, "absorb",
+                                primes_[pi].prime);
             fl.decoder->absorb(c->offset, c->symbols);
           }
         }
       } else {
         while (auto c = fl.stream->poll()) {
+          obs::StageSpan span(stage_transport_, obs::kTraceSched, "absorb",
+                              primes_[pi].prime);
           fl.decoder->absorb(c->offset, c->symbols);
         }
       }

@@ -42,6 +42,7 @@
 #include "core/proof_problem.hpp"
 #include "core/symbol_stream.hpp"
 #include "field/field_cache.hpp"
+#include "obs/metrics.hpp"
 #include "rs/code_cache.hpp"
 #include "rs/gao.hpp"
 
@@ -124,11 +125,15 @@ class ProofSession {
   // service share built ReedSolomonCode instances across jobs
   // (nullptr now falls back to CodeCache::global(), so stand-alone
   // sessions reuse the inverse-enriched subproduct trees across
-  // invocations too).
+  // invocations too); `metrics` is the registry the session's
+  // per-stage span histograms land in (nullptr falls back to
+  // obs::Registry::global(); ProofService injects its own so one
+  // scrape of the service covers its sessions' stage latencies).
   ProofSession(const CamelotProblem& problem, ClusterConfig config,
                std::shared_ptr<FieldCache> cache = nullptr,
                std::shared_ptr<const PrimePlan> plan = nullptr,
-               std::shared_ptr<CodeCache> codes = nullptr);
+               std::shared_ptr<CodeCache> codes = nullptr,
+               std::shared_ptr<obs::Registry> metrics = nullptr);
 
   const ClusterConfig& config() const noexcept { return config_; }
   const PrimePlan& plan() const noexcept { return *plan_; }
@@ -273,6 +278,17 @@ class ProofSession {
   ProofSpec spec_;
   std::shared_ptr<FieldCache> cache_;
   std::shared_ptr<CodeCache> codes_;  // never null (global() fallback)
+  std::shared_ptr<obs::Registry> metrics_;  // never null (global() fallback)
+  // Per-stage latency histograms resolved once at construction
+  // (registry lookups lock; steady-state span observes do not). The
+  // streaming pipeline feeds the same histograms at its natural
+  // granularity: prepare per node chunk, transport per absorbed
+  // chunk, decode/verify/recover per prime.
+  obs::Histogram* stage_prepare_ = nullptr;
+  obs::Histogram* stage_transport_ = nullptr;
+  obs::Histogram* stage_decode_ = nullptr;
+  obs::Histogram* stage_verify_ = nullptr;
+  obs::Histogram* stage_recover_ = nullptr;
   std::shared_ptr<const PrimePlan> plan_;
   std::vector<std::size_t> owners_;  // symbol index -> owning node
   std::vector<PrimeState> primes_;

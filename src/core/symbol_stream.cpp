@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace camelot {
 
 namespace {
@@ -12,12 +14,21 @@ namespace {
 // streams (which differ only in a per-push rewrite).
 class QueueStream : public SymbolStream {
  public:
-  explicit QueueStream(const StreamSpec& spec) : spec_(spec) {}
+  explicit QueueStream(const StreamSpec& spec) : spec_(spec) {
+    CAMELOT_TRACE_MSG(obs::kTraceStream,
+                      "stream open prime=%llu e=%zu",
+                      static_cast<unsigned long long>(spec_.prime),
+                      spec_.code_length);
+  }
 
   void push(SymbolChunk chunk) override {
     if (chunk.offset + chunk.symbols.size() > spec_.code_length) {
       throw std::logic_error("SymbolStream::push: chunk out of range");
     }
+    CAMELOT_TRACE_MSG(obs::kTraceStream,
+                      "stream push prime=%llu node=%zu offset=%zu n=%zu",
+                      static_cast<unsigned long long>(spec_.prime),
+                      chunk.node, chunk.offset, chunk.symbols.size());
     transform(chunk);
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) {
@@ -27,6 +38,8 @@ class QueueStream : public SymbolStream {
   }
 
   void close() override {
+    CAMELOT_TRACE_MSG(obs::kTraceStream, "stream close prime=%llu",
+                      static_cast<unsigned long long>(spec_.prime));
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace camelot {
 
 std::shared_ptr<const MontgomeryField> FieldCache::mont(u64 prime) {
@@ -16,6 +18,8 @@ std::shared_ptr<const MontgomeryField> FieldCache::mont(u64 prime) {
   // Build outside the lock (primality check + REDC constants); a
   // concurrent builder for the same prime produces an identical
   // immutable object, so last-writer-wins is harmless.
+  CAMELOT_TRACE_MSG(obs::kTraceField, "building Montgomery context q=%llu",
+                    static_cast<unsigned long long>(prime));
   auto built = std::make_shared<const MontgomeryField>(PrimeField(prime));
   std::lock_guard<std::mutex> lock(mu_);
   enforce_bound_locked();
@@ -60,6 +64,9 @@ std::shared_ptr<const NttTables> FieldCache::ntt_tables_for(
       return it->second;
     }
   }
+  CAMELOT_TRACE_MSG(obs::kTraceField,
+                    "building NTT tables q=%llu min_size=%zu",
+                    static_cast<unsigned long long>(prime), min_size);
   auto built = std::make_shared<const NttTables>(*field, min_size);
   std::lock_guard<std::mutex> lock(mu_);
   enforce_bound_locked();

@@ -1,0 +1,110 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace camelot {
+namespace obs {
+
+namespace {
+
+void append_f(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_f(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min(sizeof(buf) - 1, std::size_t(n)));
+}
+
+// %.9g: full double round-trip is overkill for latency metrics, but
+// the bucket bounds (1e-4 etc.) must not collapse to 0.
+void append_double(std::string& out, double v) {
+  append_f(out, "%.9g", v);
+}
+
+}  // namespace
+
+std::string render_prometheus(const Registry::Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    append_f(out, "# TYPE %s counter\n", name.c_str());
+    append_f(out, "%s %" PRIu64 "\n", name.c_str(), value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    append_f(out, "# TYPE %s gauge\n", name.c_str());
+    append_f(out, "%s %" PRId64 "\n", name.c_str(), value);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    append_f(out, "# TYPE %s histogram\n", name.c_str());
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bins.size(); ++i) {
+      cum += h.bins[i];
+      if (i < h.bounds.size()) {
+        append_f(out, "%s_bucket{le=\"", name.c_str());
+        append_double(out, h.bounds[i]);
+        append_f(out, "\"} %" PRIu64 "\n", cum);
+      } else {
+        append_f(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+                 cum);
+      }
+    }
+    append_f(out, "%s_sum ", name.c_str());
+    append_double(out, h.sum_seconds);
+    out += '\n';
+    append_f(out, "%s_count %" PRIu64 "\n", name.c_str(), cum);
+  }
+  return out;
+}
+
+std::string render_json(const Registry::Snapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    append_f(out, "%s\n    \"%s\": %" PRIu64, i ? "," : "",
+             snap.counters[i].first.c_str(), snap.counters[i].second);
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    append_f(out, "%s\n    \"%s\": %" PRId64, i ? "," : "",
+             snap.gauges[i].first.c_str(), snap.gauges[i].second);
+  }
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    append_f(out, "%s\n    \"%s\": {\"bounds\": [", i ? "," : "",
+             name.c_str());
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b) out += ", ";
+      append_double(out, h.bounds[b]);
+    }
+    out += "], \"bins\": [";
+    for (std::size_t b = 0; b < h.bins.size(); ++b) {
+      if (b) out += ", ";
+      append_f(out, "%" PRIu64, h.bins[b]);
+    }
+    out += "], \"sum\": ";
+    append_double(out, h.sum_seconds);
+    append_f(out, ", \"count\": %" PRIu64 "}", h.count());
+  }
+  out += snap.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string render_prometheus(const Registry& registry) {
+  return render_prometheus(registry.snapshot());
+}
+
+std::string render_json(const Registry& registry) {
+  return render_json(registry.snapshot());
+}
+
+}  // namespace obs
+}  // namespace camelot

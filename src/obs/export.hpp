@@ -1,0 +1,32 @@
+// Exporters over obs::Registry snapshots.
+//
+// Two renderings of one scrape:
+//
+//   * render_prometheus — the text exposition format (counter / gauge
+//     / histogram with cumulative le-labelled buckets), ready to be
+//     served from a /metrics endpoint or dumped as a CI artifact;
+//   * render_json — a machine-readable snapshot (raw bins, not
+//     cumulative) for tooling that wants to merge or diff scrapes —
+//     the planned sharded multi-process service consumes this stream.
+//
+// Both render from a single Registry::snapshot(), so every metric in
+// one rendering comes from the same scrape.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace camelot {
+namespace obs {
+
+std::string render_prometheus(const Registry& registry);
+std::string render_json(const Registry& registry);
+
+// Same renderings from an already-taken scrape (callers that need the
+// snapshot for other purposes too scrape once).
+std::string render_prometheus(const Registry::Snapshot& snap);
+std::string render_json(const Registry::Snapshot& snap);
+
+}  // namespace obs
+}  // namespace camelot

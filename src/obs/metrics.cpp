@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace camelot {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be sorted ascending");
+  }
+  bins_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    bins_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double seconds) noexcept {
+  const std::size_t i =
+      static_cast<std::size_t>(std::upper_bound(bounds_.begin(), bounds_.end(),
+                                                seconds) -
+                               bounds_.begin());
+  bins_[i].fetch_add(1, std::memory_order_relaxed);
+  // Negative or NaN observations would corrupt the sum; clamp to 0
+  // (the bin count above already landed in bucket 0 for them).
+  const double ns = seconds > 0.0 ? seconds * 1e9 : 0.0;
+  sum_ns_.fetch_add(static_cast<std::uint64_t>(ns),
+                    std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::Snapshot::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : bins) total += b;
+  return total;
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based ceil, so q=1 is the max).
+  const double rank = std::max(1.0, std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const std::uint64_t in_bucket = bins[i];
+    if (static_cast<double>(cum + in_bucket) < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    // Interpolate within [lower, upper) by the rank's position in the
+    // bucket. The +inf bucket clamps to the last finite bound (we
+    // cannot say more than "past the ladder").
+    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    if (in_bucket == 0) return upper;
+    const double frac =
+        (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double Histogram::Snapshot::mean() const noexcept {
+  const std::uint64_t total = count();
+  return total == 0 ? 0.0 : sum_seconds / static_cast<double>(total);
+}
+
+Histogram::Snapshot Histogram::Snapshot::delta_since(
+    const Snapshot& earlier) const {
+  if (earlier.bins.size() != bins.size()) {
+    throw std::invalid_argument("Histogram::Snapshot: bucket mismatch");
+  }
+  Snapshot out;
+  out.bounds = bounds;
+  out.bins.resize(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    // A racing writer can make a later snapshot's individual bin read
+    // while an earlier scrape already saw the increment elsewhere;
+    // saturate instead of wrapping.
+    out.bins[i] = bins[i] >= earlier.bins[i] ? bins[i] - earlier.bins[i] : 0;
+  }
+  out.sum_seconds = std::max(0.0, sum_seconds - earlier.sum_seconds);
+  return out;
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  if (other.bins.size() != bins.size()) {
+    throw std::invalid_argument("Histogram::Snapshot: bucket mismatch");
+  }
+  for (std::size_t i = 0; i < bins.size(); ++i) bins[i] += other.bins[i];
+  sum_seconds += other.sum_seconds;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  out.bins.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out.bins[i] = bins_[i].load(std::memory_order_relaxed);
+  }
+  out.sum_seconds =
+      static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return out;
+}
+
+std::vector<double> Histogram::default_latency_bounds() {
+  // 1-2-5 ladder, 100us .. 10s. Fine enough that a bucket-interpolated
+  // p95 tracks the sample p95 within the CI gate's noise floor, small
+  // enough that a snapshot is a handful of cache lines.
+  return {100e-6, 200e-6, 500e-6, 1e-3, 2e-3, 5e-3, 10e-3, 20e-3, 50e-3,
+          100e-3, 200e-3, 500e-3, 1.0,  2.0,  5.0,  10.0};
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::default_latency_bounds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+const std::shared_ptr<Registry>& Registry::global() {
+  static const std::shared_ptr<Registry> instance =
+      std::make_shared<Registry>();
+  return instance;
+}
+
+}  // namespace obs
+}  // namespace camelot

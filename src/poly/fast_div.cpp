@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/trace.hpp"
+
 namespace camelot {
 
 namespace {
@@ -36,7 +38,12 @@ std::size_t fastdiv_crossover() noexcept {
   const std::size_t forced =
       crossover_override().load(std::memory_order_relaxed);
   if (forced != 0) return forced;
-  static const std::size_t from_env = env_default_crossover();
+  static const std::size_t from_env = [] {
+    const std::size_t v = env_default_crossover();
+    CAMELOT_TRACE_MSG(obs::kTracePoly, "fastdiv crossover=%zu%s", v,
+                      v == kDefaultCrossover ? "" : " (env override)");
+    return v;
+  }();
   return from_env;
 }
 

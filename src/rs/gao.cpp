@@ -1,5 +1,6 @@
 #include "rs/gao.hpp"
 
+#include "obs/trace.hpp"
 #include "poly/fast_div.hpp"
 #include "poly/hgcd.hpp"
 
@@ -49,6 +50,21 @@ GaoResult gao_decode_prepared(const ReedSolomonCode& code,
                               std::span<const u64> canonical,
                               std::span<const u64> domain) {
   GaoResult out;
+  // Emits the decode outcome when the run returns (success or not) —
+  // the per-decode observability hook behind CAMELOT_TRACE=rs.
+  struct TraceOnExit {
+    const ReedSolomonCode& code;
+    const GaoResult& r;
+    ~TraceOnExit() {
+      CAMELOT_TRACE_MSG(
+          obs::kTraceRs,
+          "gao decode prime=%llu e=%zu status=%s errors=%zu steps=%zu "
+          "hgcd=%zu",
+          static_cast<unsigned long long>(code.ops().prime().modulus()),
+          code.length(), r.status == DecodeStatus::kOk ? "ok" : "fail",
+          r.error_locations.size(), r.quotient_steps, r.hgcd_calls);
+    }
+  } trace_on_exit{code, out};
   const FieldOps& ops = code.ops();
   const PrimeField& f = ops.prime();
   const SubproductTree& tree = code.tree();

@@ -512,6 +512,118 @@ TEST(ProofService, EqualPriorityTasksRunEarliestDeadlineFirst) {
   EXPECT_LT(first_of("edf"), first_of("fifo"));
 }
 
+TEST(ProofService, PredictiveSheddingRejectsInfeasibleDeadline) {
+  ProofServiceConfig svc;
+  svc.num_workers = 1;
+  svc.shed_min_samples = 4;  // shorter calibration than the default 8
+  ProofService service(svc);
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.redundancy = 2.0;
+  auto problems = four_problems();
+  auto slow = std::make_shared<SlowProblem>(problems[0],
+                                            std::chrono::milliseconds(20));
+
+  // Calibrate the job-latency histogram with completions well above
+  // the doomed deadline (4 chunks x 20 ms each).
+  for (std::size_t i = 0; i < svc.shed_min_samples; ++i) {
+    ASSERT_TRUE(service.submit(slow, cfg).get().success);
+  }
+
+  // Infeasible: 1 ms deadline against a calibrated p95 of ~100 ms.
+  // Shed at submit — the future is ready immediately, no worker ran.
+  SubmitOptions tight;
+  tight.deadline = std::chrono::milliseconds(1);
+  std::future<RunReport> doomed =
+      service.submit(slow, cfg, nullptr, tight);
+  ASSERT_EQ(doomed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  RunReport report = doomed.get();
+  EXPECT_EQ(report.status, JobStatus::kRejected);
+  EXPECT_FALSE(report.success);
+  ProofService::Stats stats = service.stats();
+  EXPECT_EQ(stats.shed_infeasible, 1u);
+  EXPECT_EQ(stats.rejected, 1u);  // sheds count as rejections
+
+  // The same job with a generous deadline passes the predictor and
+  // completes.
+  SubmitOptions generous;
+  generous.deadline = std::chrono::minutes(10);
+  RunReport fine = service.submit(slow, cfg, nullptr, generous).get();
+  EXPECT_EQ(fine.status, JobStatus::kOk);
+  EXPECT_TRUE(fine.success);
+  stats = service.stats();
+  EXPECT_EQ(stats.shed_infeasible, 1u);
+  EXPECT_EQ(stats.completed, svc.shed_min_samples + 1);
+}
+
+TEST(ProofService, PerPriorityBoundIsolatesPriorityClasses) {
+  ProofServiceConfig svc;
+  svc.num_workers = 1;
+  svc.max_pending_by_priority = {{0, 1}};  // priority 0: one job at a time
+  ProofService service(svc);
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.redundancy = 2.0;
+  auto problems = four_problems();
+  auto slow = std::make_shared<SlowProblem>(problems[0],
+                                            std::chrono::milliseconds(50));
+
+  // First priority-0 job fills that priority's bound while it runs.
+  auto running = service.submit(slow, cfg);
+  // Second priority-0 submit bounces off the per-priority bound...
+  RunReport bounced = service.submit(slow, cfg).get();
+  EXPECT_EQ(bounced.status, JobStatus::kRejected);
+  // ...while an unbounded priority class is still admitted.
+  auto urgent =
+      service.submit(problems[1], cfg, nullptr, SubmitOptions{.priority = 5});
+  EXPECT_TRUE(running.get().success);
+  EXPECT_TRUE(urgent.get().success);
+  const ProofService::Stats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.shed_infeasible, 0u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ProofService, AutoscalerGrowsUnderLoadAndConvergesToMin) {
+  ProofServiceConfig svc;
+  svc.max_workers = 4;
+  svc.min_workers = 1;
+  svc.autoscale_idle = std::chrono::milliseconds(50);
+  ProofService service(svc);
+  EXPECT_EQ(service.stats().workers_active, 1u);  // starts at min
+
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.redundancy = 2.0;
+  auto problems = four_problems();
+  std::vector<std::future<RunReport>> futures;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const auto& p : problems) {
+      futures.push_back(service.submit(
+          std::make_shared<SlowProblem>(p, std::chrono::milliseconds(10)),
+          cfg));
+    }
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().success);
+
+  ProofService::Stats stats = service.stats();
+  // The backlog grew the pool, but never past max_workers.
+  EXPECT_GT(stats.workers_peak, 1u);
+  EXPECT_LE(stats.workers_peak, 4u);
+  EXPECT_LE(stats.workers_active, 4u);
+  EXPECT_EQ(stats.completed, futures.size());
+
+  // Idle workers retire back down to min_workers.
+  for (int i = 0; i < 200 && service.stats().workers_active > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(service.stats().workers_active, 1u);
+
+  // The shrunken pool still serves.
+  EXPECT_TRUE(service.submit(problems[0], cfg).get().success);
+}
+
 TEST(ProofService, SharesCodeCacheAcrossJobs) {
   ProofService service({.num_workers = 2});
   ClusterConfig cfg;
