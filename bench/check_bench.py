@@ -8,6 +8,9 @@ shared CI runners). Metric direction follows the key suffix:
 
   * ``*_ns_per_op`` / ``*_ns`` — lower is better (regression = slower)
   * ``*_per_sec``              — higher is better (regression = fewer)
+  * ``*_per_job``              — lower is better (regression = more
+    allocations/work per job); counts, not times, so calibration
+    never rescales them
 
 Other keys (``speedup``, job counts, ...) are informational and never
 gated. Benchmarks or metrics present on only one side are reported but
@@ -57,7 +60,19 @@ def direction(key):
         return "lower"
     if key.endswith("_per_sec"):
         return "higher"
+    if key.endswith("_per_job"):
+        return "lower"
     return None
+
+
+def scales_with_machine(key):
+    """Whether calibration should rescale this metric's baseline.
+
+    Times and rates drift with the runner's speed; per-job counts
+    (allocations, operations) are deterministic properties of the code
+    and must be compared absolutely.
+    """
+    return not key.endswith("_per_job")
 
 
 def compare(base, cur, max_regression=0.25, calibrate=None, out=sys.stdout):
@@ -97,8 +112,13 @@ def compare(base, cur, max_regression=0.25, calibrate=None, out=sys.stdout):
             if sense is None:
                 continue
             # Time-like baselines scale with the machine; rate-like
-            # ones scale inversely.
-            base_val = raw_base * scale if sense == "lower" else raw_base / scale
+            # ones scale inversely; count-like ones not at all.
+            if not scales_with_machine(key):
+                base_val = raw_base
+            elif sense == "lower":
+                base_val = raw_base * scale
+            else:
+                base_val = raw_base / scale
             cur_val = cur[name].get(key)
             if cur_val is None:
                 print(f"  [skip] {name}.{key}: missing in current", file=out)
@@ -188,6 +208,36 @@ def self_test():
         "calibration forgives uniform slowdown",
         compare(base, half, calibrate="mul.division_ns_per_op", out=sink),
         0,
+    )
+    # A per-job count increase past the budget fails (lower is better).
+    alloc_base = {"mul": dict(base["mul"]),
+                  "svc": {**base["svc"], "alloc_per_job": 100.0}}
+    alloc_worse = {"mul": dict(base["mul"]),
+                   "svc": {**base["svc"], "alloc_per_job": 150.0}}
+    check("per-job count increase fails",
+          compare(alloc_base, alloc_worse, out=sink), 1)
+    # Calibration never rescales per-job counts: a machine running at
+    # half speed doubles the reference time, but an unchanged count
+    # must still pass and a doubled count must still fail.
+    half_alloc = {
+        "mul": {"division_ns_per_op": 200.0, "ntt_ns_per_op": 100.0},
+        "svc": {**base["svc"], "jobs_per_sec": 10.0, "alloc_per_job": 100.0},
+    }
+    check(
+        "calibration leaves per-job counts alone (pass)",
+        compare(alloc_base, half_alloc,
+                calibrate="mul.division_ns_per_op", out=sink),
+        0,
+    )
+    half_alloc_worse = {
+        "mul": {"division_ns_per_op": 200.0, "ntt_ns_per_op": 100.0},
+        "svc": {**base["svc"], "jobs_per_sec": 10.0, "alloc_per_job": 200.0},
+    }
+    check(
+        "calibration leaves per-job counts alone (fail)",
+        compare(alloc_base, half_alloc_worse,
+                calibrate="mul.division_ns_per_op", out=sink),
+        1,
     )
     # Ungated keys (speedup) never fail.
     worse_speedup = {"mul": dict(base["mul"]),

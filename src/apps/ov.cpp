@@ -3,6 +3,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/arena.hpp"
 #include "poly/lagrange.hpp"
 
 namespace camelot {
@@ -40,15 +41,18 @@ namespace {
 
 class OvEvaluator : public Evaluator {
  public:
+  // The Lagrange cache (factorial products, batch-inverted weights)
+  // depends only on the node set 1..n, so it is built once per
+  // evaluator instead of once per evaluation point.
   OvEvaluator(const FieldOps& f, const BoolMatrix& a, const BoolMatrix& b)
-      : Evaluator(f), a_(a), b_(b) {}
+      : Evaluator(f), a_(a), b_(b), lagrange_(1, a.rows, f) {}
 
   u64 eval(u64 x0) override {
     const std::size_t n = a_.rows, t = a_.cols;
-    // A_j(x0) via one shared Lagrange basis over the nodes 1..n.
-    const std::vector<u64> basis =
-        lagrange_basis_consecutive(1, n, x0, field_);
-    std::vector<u64> z(t, 0);
+    // A_j(x0) via one shared Lagrange basis over the nodes 1..n; the
+    // basis and the z accumulator are per-point arena scratch.
+    const ScratchVec basis = lagrange_.basis_scratch(x0);
+    ScratchVec z(t, 0);
     for (std::size_t i = 0; i < n; ++i) {
       if (basis[i] == 0) continue;
       for (std::size_t j = 0; j < t; ++j) {
@@ -70,6 +74,7 @@ class OvEvaluator : public Evaluator {
  private:
   const BoolMatrix& a_;
   const BoolMatrix& b_;
+  ConsecutiveLagrange lagrange_;
 };
 
 }  // namespace

@@ -1,0 +1,342 @@
+#include "core/arena.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+// Manual poisoning: freed chunk payloads are unreadable under ASan
+// until the arena hands them out again, so a kernel holding a stale
+// scratch pointer across a free dies as loudly as a heap
+// use-after-free would. Chunk headers stay unpoisoned (the allocator
+// reads neighbour headers while coalescing).
+#if defined(__SANITIZE_ADDRESS__)
+#define CAMELOT_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CAMELOT_ARENA_ASAN 1
+#endif
+#endif
+
+#if defined(CAMELOT_ARENA_ASAN)
+#include <sanitizer/asan_interface.h>
+#define CAMELOT_POISON(p, n) __asan_poison_memory_region((p), (n))
+#define CAMELOT_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
+#else
+#define CAMELOT_POISON(p, n) ((void)0)
+#define CAMELOT_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace camelot {
+namespace {
+
+constexpr std::uint32_t kChunkMagic = 0xCA3E107A;
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+thread_local Arena* t_current_arena = nullptr;
+
+}  // namespace
+
+// Header immediately preceding every payload, padded to kAlignment so
+// payloads inherit the region block's 64-byte alignment. prev/next
+// link the chunks of one region in address order (the invariant the
+// coalescer relies on); for oversize blocks region == nullptr and the
+// same links thread the arena's oversize list instead.
+struct Arena::Chunk {
+  std::uint32_t magic;
+  std::uint32_t free_flag;
+  std::uint64_t serial;
+  std::size_t size;  // payload bytes (multiple of kAlignment)
+  Chunk* prev;
+  Chunk* next;
+  Region* region;
+};
+
+struct Arena::Region {
+  std::byte* base;
+  std::size_t size;
+  Chunk* head;  // address-ordered chunk list; nullptr when empty
+  Chunk* tail;
+};
+
+namespace {
+
+constexpr std::size_t kHeaderBytes =
+    (sizeof(Arena::Chunk) + Arena::kAlignment - 1) &
+    ~(Arena::kAlignment - 1);
+
+std::byte* payload_of(Arena::Chunk* c) {
+  return reinterpret_cast<std::byte*>(c) + kHeaderBytes;
+}
+
+Arena::Chunk* header_of(void* payload) {
+  return reinterpret_cast<Arena::Chunk*>(static_cast<std::byte*>(payload) -
+                                         kHeaderBytes);
+}
+
+}  // namespace
+
+Arena::Arena(obs::Registry* registry, std::size_t region_bytes)
+    : region_bytes_(round_up(region_bytes, kAlignment)) {
+  obs::Registry* reg =
+      registry != nullptr ? registry : obs::Registry::global().get();
+  g_in_use_ = &reg->gauge("camelot_arena_bytes_in_use");
+  g_reserved_ = &reg->gauge("camelot_arena_bytes_reserved");
+  g_regions_ = &reg->gauge("camelot_arena_region_count");
+  c_oversize_ = &reg->counter("camelot_arena_oversize_fallbacks_total");
+}
+
+Arena::~Arena() {
+  // Free any stragglers (normally none: ScratchVec destructors run
+  // before the arena goes away), then hand the regions back and
+  // retract this arena's share of the gauges.
+  release_after(0);
+  publish_stats();
+  for (Region* r : regions_) {
+    CAMELOT_UNPOISON(r->base, r->size);
+    ::operator delete(r->base, std::align_val_t{kAlignment});
+    delete r;
+  }
+  g_reserved_->add(-static_cast<std::int64_t>(reserved_));
+  g_regions_->add(-static_cast<std::int64_t>(regions_.size()));
+}
+
+Arena* Arena::current() noexcept { return t_current_arena; }
+
+void Arena::bind(Arena* arena) noexcept { t_current_arena = arena; }
+
+Arena& Arena::process_local() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+Arena::Region* Arena::add_region() {
+  auto* base = static_cast<std::byte*>(
+      ::operator new(region_bytes_, std::align_val_t{kAlignment}));
+  CAMELOT_POISON(base, region_bytes_);
+  Region* r = new Region{base, region_bytes_, nullptr, nullptr};
+  regions_.push_back(r);
+  reserved_ += region_bytes_;
+  g_reserved_->add(static_cast<std::int64_t>(region_bytes_));
+  g_regions_->add(1);
+  return r;
+}
+
+// Stamps the serial and accounts a chunk that place_in carved.
+void* Arena::finish_chunk(Chunk* chunk, std::size_t need) {
+  chunk->magic = kChunkMagic;
+  chunk->free_flag = 0;
+  chunk->serial = ++serial_;
+  in_use_ += chunk->size;
+  ++live_chunks_;
+  (void)need;
+  return payload_of(chunk);
+}
+
+void* Arena::place_in(Region* region, std::size_t need) {
+  // Fast path: sequential placement at the frontier (just past the
+  // last chunk). Merge-on-free keeps this the common case.
+  std::byte* frontier =
+      region->tail != nullptr
+          ? payload_of(region->tail) + region->tail->size
+          : region->base;
+  if (static_cast<std::size_t>(region->base + region->size - frontier) >=
+      kHeaderBytes + need) {
+    CAMELOT_UNPOISON(frontier, kHeaderBytes + need);
+    auto* chunk = reinterpret_cast<Chunk*>(frontier);
+    chunk->size = need;
+    chunk->prev = region->tail;
+    chunk->next = nullptr;
+    chunk->region = region;
+    if (region->tail != nullptr) {
+      region->tail->next = chunk;
+    } else {
+      region->head = chunk;
+    }
+    region->tail = chunk;
+    return finish_chunk(chunk, need);
+  }
+
+  // Slow path: first-fit over freed holes, splitting when the
+  // remainder is big enough to be a chunk of its own.
+  for (Chunk* c = region->head; c != nullptr; c = c->next) {
+    if (c->free_flag == 0 || c->size < need) continue;
+    CAMELOT_UNPOISON(payload_of(c), c->size);
+    if (c->size >= need + kHeaderBytes + kAlignment) {
+      auto* rest = reinterpret_cast<Chunk*>(payload_of(c) + need);
+      rest->magic = kChunkMagic;
+      rest->free_flag = 1;
+      rest->serial = 0;
+      rest->size = c->size - need - kHeaderBytes;
+      rest->prev = c;
+      rest->next = c->next;
+      rest->region = region;
+      if (c->next != nullptr) {
+        c->next->prev = rest;
+      } else {
+        region->tail = rest;
+      }
+      c->next = rest;
+      c->size = need;
+      CAMELOT_POISON(payload_of(rest), rest->size);
+    }
+    c->free_flag = 0;
+    return finish_chunk(c, need);
+  }
+  return nullptr;
+}
+
+void* Arena::allocate_oversize(std::size_t need) {
+  auto* raw = static_cast<std::byte*>(
+      ::operator new(kHeaderBytes + need, std::align_val_t{kAlignment}));
+  auto* chunk = reinterpret_cast<Chunk*>(raw);
+  chunk->size = need;
+  chunk->prev = nullptr;
+  chunk->next = oversize_head_;
+  chunk->region = nullptr;
+  if (oversize_head_ != nullptr) oversize_head_->prev = chunk;
+  oversize_head_ = chunk;
+  reserved_ += kHeaderBytes + need;
+  ++oversize_events_;
+  c_oversize_->inc();
+  g_reserved_->add(static_cast<std::int64_t>(kHeaderBytes + need));
+  return finish_chunk(chunk, need);
+}
+
+void* Arena::allocate(std::size_t bytes) {
+  const std::size_t need = round_up(bytes == 0 ? 1 : bytes, kAlignment);
+  if (kHeaderBytes + need > region_bytes_) return allocate_oversize(need);
+  for (Region* r : regions_) {
+    if (void* p = place_in(r, need)) return p;
+  }
+  void* p = place_in(add_region(), need);
+  assert(p != nullptr);  // a fresh region always fits a non-oversize request
+  return p;
+}
+
+void Arena::deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  Chunk* c = header_of(p);
+  assert(c->magic == kChunkMagic && c->free_flag == 0);
+  in_use_ -= c->size;
+  --live_chunks_;
+
+  if (c->region == nullptr) {  // oversize: straight back upstream
+    if (c->prev != nullptr) c->prev->next = c->next;
+    if (c->next != nullptr) c->next->prev = c->prev;
+    if (oversize_head_ == c) oversize_head_ = c->next;
+    reserved_ -= kHeaderBytes + c->size;
+    g_reserved_->add(-static_cast<std::int64_t>(kHeaderBytes + c->size));
+    ::operator delete(c, std::align_val_t{kAlignment});
+    return;
+  }
+
+  Region* region = c->region;
+  c->free_flag = 1;
+  c->serial = 0;
+  CAMELOT_POISON(payload_of(c), c->size);
+
+  // Merge-on-free: absorb a free successor, then let a free
+  // predecessor absorb us. Address order makes both merges a size
+  // addition over the intervening header.
+  if (c->next != nullptr && c->next->free_flag != 0) {
+    Chunk* n = c->next;
+    c->size += kHeaderBytes + n->size;
+    c->next = n->next;
+    if (n->next != nullptr) {
+      n->next->prev = c;
+    } else {
+      region->tail = c;
+    }
+    CAMELOT_POISON(n, kHeaderBytes);
+  }
+  if (c->prev != nullptr && c->prev->free_flag != 0) {
+    Chunk* prev = c->prev;
+    prev->size += kHeaderBytes + c->size;
+    prev->next = c->next;
+    if (c->next != nullptr) {
+      c->next->prev = prev;
+    } else {
+      region->tail = prev;
+    }
+    CAMELOT_POISON(c, kHeaderBytes);
+    c = prev;
+  }
+  // A free chunk at the frontier retreats it, restoring pure bump
+  // allocation for the next stage.
+  if (c == region->tail && c->free_flag != 0) {
+    region->tail = c->prev;
+    if (c->prev != nullptr) {
+      c->prev->next = nullptr;
+    } else {
+      region->head = nullptr;
+    }
+    CAMELOT_POISON(c, kHeaderBytes);
+  }
+}
+
+void Arena::release_after(std::uint64_t mark) noexcept {
+  for (Region* r : regions_) {
+    // deallocate() rewrites the list it walks (coalescing, frontier
+    // retreat), so rescan from the head after every free. At scope
+    // boundaries the list is empty or near-empty, so this is cheap.
+    bool freed = true;
+    while (freed) {
+      freed = false;
+      for (Chunk* c = r->head; c != nullptr; c = c->next) {
+        if (c->free_flag == 0 && c->serial > mark) {
+          deallocate(payload_of(c));
+          freed = true;
+          break;
+        }
+      }
+    }
+  }
+  Chunk* c = oversize_head_;
+  while (c != nullptr) {
+    Chunk* next = c->next;
+    if (c->serial > mark) deallocate(payload_of(c));
+    c = next;
+  }
+}
+
+void Arena::publish_stats() noexcept {
+  const auto now = static_cast<std::int64_t>(in_use_);
+  if (now != published_in_use_) {
+    g_in_use_->add(now - published_in_use_);
+    published_in_use_ = now;
+  }
+}
+
+bool arena_env_enabled() noexcept {
+  static const bool enabled = [] {
+    const char* v = std::getenv("CAMELOT_ARENA");
+    if (v == nullptr) return true;
+    const std::string s(v);
+    return !(s == "off" || s == "OFF" || s == "0" || s == "false");
+  }();
+  return enabled;
+}
+
+Arena* stage_arena(bool use_arena) noexcept {
+  if (!use_arena || !arena_env_enabled()) return nullptr;
+  if (Arena* bound = Arena::current()) return bound;
+  return &Arena::process_local();
+}
+
+ArenaScope::ArenaScope(Arena* arena) noexcept
+    : arena_(arena), prev_(Arena::current()) {
+  Arena::bind(arena);
+}
+
+ArenaScope::~ArenaScope() {
+  if (arena_ != nullptr) arena_->publish_stats();
+  Arena::bind(prev_);
+}
+
+}  // namespace camelot

@@ -1,0 +1,230 @@
+// Region/slab scratch allocator for the hot pipeline (ROADMAP
+// "Arena/slab memory layer").
+//
+// Every session stage used to allocate fresh std::vector scratch per
+// prime per chunk; under the ProofService worker pool that is
+// steady-state malloc traffic and allocator contention. The pipeline's
+// allocation pattern is the one region allocators are built for:
+// large, similar-lifetime blocks freed together at stage end. An
+// Arena carves those blocks out of a few megabyte-sized regions
+// obtained from the upstream allocator once and reused forever after:
+//
+//   * Sequential chunk placement: allocation bumps a frontier at the
+//     end of the region's chunk list (the common case is a pointer
+//     add), falling back to a first-fit scan of freed holes.
+//   * Merge-on-free: a freed chunk coalesces with free neighbours,
+//     and a free chunk at the frontier retreats it, so the steady
+//     state of "allocate a stage's scratch, free it all" returns the
+//     region to a single bump pointer instead of fragmenting.
+//   * Oversize fallback: requests that do not fit a region go
+//     straight to the upstream allocator (and are counted, so the
+//     region size can be tuned when that starts happening).
+//
+// The seam into the library is ScratchAlloc, a std::allocator drop-in
+// that captures the calling thread's bound arena at construction and
+// falls back to plain operator new when none is bound — so every
+// kernel templated on its scratch vector type computes bit-identical
+// words either way, and `CAMELOT_ARENA=off` / `ClusterConfig::
+// use_arena = false` keep the heap path alive for A/B.
+//
+// Threading model: an Arena is single-threaded by design. ProofService
+// binds one arena per worker thread for the duration of each task;
+// stand-alone sessions (and session-spawned node workers) bind a
+// process-local thread_local arena per stage. ArenaScope is the RAII
+// binder: a stage opens a scope, every ScratchVec inside allocates
+// from the bound arena, and the stage's scratch is freed back into the
+// region as those vectors destruct at scope exit (coalescing restores
+// the bump frontier); the scope's own exit publishes the arena gauges
+// and restores the previous binding. Binding nullptr is meaningful:
+// it *unbinds* for the scope, which is how a use_arena=false session
+// stays on the heap even under a service worker that owns an arena.
+//
+// Under AddressSanitizer the arena manually poisons freed chunk
+// payloads and unpoisons them on reuse, so stale-scratch reads fail
+// as loudly as they would under the heap allocator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace camelot {
+
+namespace obs {
+class Counter;
+class Gauge;
+class Registry;
+}  // namespace obs
+
+class ArenaScope;
+
+class Arena {
+ public:
+  // Every payload is 64-byte aligned: enough for cache-line-sized
+  // loads and any AVX2/AVX-512 kernel reading scratch vectors.
+  static constexpr std::size_t kAlignment = 64;
+  // Regions are fixed-size slabs; requests that do not fit one (minus
+  // the chunk header) take the oversize fallback. 1 MiB holds the
+  // whole working set of an NTT at the degrees the pipeline sees.
+  static constexpr std::size_t kDefaultRegionBytes = std::size_t{1} << 20;
+
+  // `registry` receives the camelot_arena_* gauges/counters; nullptr
+  // means obs::Registry::global(). Regions are allocated lazily, so
+  // constructing an arena that never allocates costs nothing.
+  explicit Arena(obs::Registry* registry = nullptr,
+                 std::size_t region_bytes = kDefaultRegionBytes);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Aligned scratch block of at least `bytes`. Never returns nullptr
+  // (throws std::bad_alloc like the upstream allocator would).
+  void* allocate(std::size_t bytes);
+  // `p` must be a live pointer returned by allocate() on this arena.
+  void deallocate(void* p) noexcept;
+
+  // Monotone allocation serial; chunks allocated after mark() compare
+  // greater. release_after(m) frees every still-live chunk with
+  // serial > m — a backstop for raw allocate() users and tests; the
+  // library's ScratchVec scratch is freed by its own destructors.
+  std::uint64_t mark() const noexcept { return serial_; }
+  void release_after(std::uint64_t mark) noexcept;
+  // Frees every live chunk (regions are kept for reuse).
+  void reset() noexcept { release_after(0); }
+
+  // Local (single-threaded) stats; the publish_stats() deltas of the
+  // same quantities land on the registry gauges.
+  std::size_t bytes_in_use() const noexcept { return in_use_; }
+  std::size_t bytes_reserved() const noexcept { return reserved_; }
+  std::size_t region_count() const noexcept { return regions_.size(); }
+  std::uint64_t oversize_fallbacks() const noexcept { return oversize_events_; }
+  std::size_t live_chunks() const noexcept { return live_chunks_; }
+
+  // Pushes the in-use delta since the last publish onto the registry
+  // gauge. Region and oversize events publish immediately (they are
+  // rare); bytes_in_use moves on every allocate/deallocate, so it is
+  // published at scope boundaries instead of contending a shared
+  // cache line from the hot path.
+  void publish_stats() noexcept;
+
+  // The calling thread's bound arena (nullptr when unbound). Binding
+  // is ArenaScope's job.
+  static Arena* current() noexcept;
+  // Per-thread fallback arena for stand-alone sessions and
+  // session-spawned node workers; publishes to the global registry.
+  static Arena& process_local();
+
+  // Opaque to callers; defined (and only usable) in arena.cpp.
+  struct Region;
+  struct Chunk;
+
+ private:
+  friend class ArenaScope;
+  static void bind(Arena* arena) noexcept;
+
+  Region* add_region();
+  void* place_in(Region* region, std::size_t need);
+  void* finish_chunk(Chunk* chunk, std::size_t need);
+  void* allocate_oversize(std::size_t need);
+
+  obs::Gauge* g_in_use_ = nullptr;
+  obs::Gauge* g_reserved_ = nullptr;
+  obs::Gauge* g_regions_ = nullptr;
+  obs::Counter* c_oversize_ = nullptr;
+
+  std::size_t region_bytes_;
+  std::vector<Region*> regions_;
+  Chunk* oversize_head_ = nullptr;
+
+  std::uint64_t serial_ = 0;
+  std::size_t in_use_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t live_chunks_ = 0;
+  std::uint64_t oversize_events_ = 0;
+  std::int64_t published_in_use_ = 0;
+};
+
+// True unless the environment disables the arena layer
+// (CAMELOT_ARENA=off|0|false), read once per process.
+bool arena_env_enabled() noexcept;
+
+// The arena a session stage should bind: nullptr when the config or
+// environment disables the layer (the stage then runs on the heap,
+// even under a worker that owns an arena), otherwise the already
+// bound arena (service worker case) or the process-local fallback.
+Arena* stage_arena(bool use_arena) noexcept;
+
+// RAII thread binding. ArenaScope(nullptr) explicitly unbinds for the
+// scope; destruction restores whatever was bound before and publishes
+// the arena's gauges.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena) noexcept;
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* arena_;
+  Arena* prev_;
+};
+
+// std::allocator drop-in that captures the bound arena at
+// construction. With no arena bound it IS operator new/delete, which
+// is what makes the arena-off path bit-identical by construction: the
+// allocator never touches the computed words, only where they live.
+template <class T>
+class ScratchAlloc {
+ public:
+  using value_type = T;
+  // Containers carry their allocator through copy/move/swap so a
+  // vector never deallocates with a different arena than it allocated
+  // from.
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  ScratchAlloc() noexcept : arena_(Arena::current()) {}
+  explicit ScratchAlloc(Arena* arena) noexcept : arena_(arena) {}
+  template <class U>
+  ScratchAlloc(const ScratchAlloc<U>& other) noexcept
+      : arena_(other.arena_) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr) return static_cast<T*>(arena_->allocate(bytes));
+    return static_cast<T*>(::operator new(bytes));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ != nullptr) {
+      arena_->deallocate(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <class U>
+  bool operator==(const ScratchAlloc<U>& other) const noexcept {
+    return arena_ == other.arena_;
+  }
+  template <class U>
+  bool operator!=(const ScratchAlloc<U>& other) const noexcept {
+    return arena_ != other.arena_;
+  }
+
+ private:
+  template <class U>
+  friend class ScratchAlloc;
+  Arena* arena_;
+};
+
+// The scratch vector type threaded through poly/rs internals. Results
+// that escape a stage (Poly coefficients, tree nodes, reports) stay
+// std::vector — arena memory is for scratch whose lifetime ends with
+// the stage.
+using ScratchVec = std::vector<std::uint64_t, ScratchAlloc<std::uint64_t>>;
+
+}  // namespace camelot

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/arena.hpp"
 #include "core/cluster.hpp"
 #include "core/rng.hpp"
 #include "core/verifier.hpp"
@@ -207,6 +208,9 @@ std::vector<u64> ProofSession::evaluate_node_range(PrimeState& st,
                                                    std::size_t node,
                                                    std::size_t lo,
                                                    std::size_t hi) {
+  // First declaration on purpose: every scratch vector the evaluator
+  // allocates below must destruct before the scope unbinds the arena.
+  ArenaScope arena_scope(stage_arena(config_.use_arena));
   const auto t0 = std::chrono::steady_clock::now();
   // Span granularity: one prepare observation per node chunk — both
   // the barrier and the streaming pipeline evaluate through here, so
@@ -287,6 +291,7 @@ void ProofSession::apply_recover(PrimeState& st) {
 // ---- Step 1: proof preparation, in distributed encoded form -------------
 
 void ProofSession::prepare_prime(std::size_t prime_index) {
+  ArenaScope arena_scope(stage_arena(config_.use_arena));
   WallTimer wt(&wall_seconds_);
   PrimeState& st = state_at(prime_index);
   const std::size_t e = plan_->code_length;
@@ -304,6 +309,10 @@ void ProofSession::prepare_prime(std::size_t prime_index) {
   std::atomic<std::size_t> next_node{0};
   FirstError errors;
   auto worker = [&]() {
+    // Each pool thread binds its own arena (the thread-local
+    // process_local() when no service worker arena is bound), so the
+    // chunks' scratch never contends across threads.
+    ArenaScope arena_scope(stage_arena(config_.use_arena));
     try {
       while (!errors.failed()) {
         const std::size_t j = next_node.fetch_add(1);
@@ -350,6 +359,7 @@ void ProofSession::transport_prime(std::size_t prime_index,
 // ---- Step 2: error-correction during preparation of the proof -----------
 
 void ProofSession::decode_prime(std::size_t prime_index) {
+  ArenaScope arena_scope(stage_arena(config_.use_arena));
   WallTimer wt(&wall_seconds_);
   state_at_least(prime_index, SessionStage::kTransported, "decode_prime");
   PrimeState& st = state_at(prime_index);
@@ -478,12 +488,13 @@ std::unique_ptr<SymbolStream> ProofSession::open_prime_stream(
 
 void ProofSession::finalize_prime_stream(PrimeState& st,
                                          StreamingGaoDecoder& decoder) {
+  ArenaScope arena_scope(stage_arena(config_.use_arena));
   if (!decoder.ready()) {
     throw std::logic_error(
         "StreamingSymbolChannel: stream exhausted without delivering every "
         "symbol");
   }
-  st.received = decoder.received();
+  st.received.assign(decoder.received().begin(), decoder.received().end());
   st.stage = SessionStage::kTransported;
   GaoResult decoded;
   {
@@ -498,6 +509,9 @@ void ProofSession::finalize_prime_stream(PrimeState& st,
 void ProofSession::run_prime_streaming(std::size_t prime_index,
                                        const StreamingSymbolChannel& channel,
                                        const SessionCancelFn& cancel) {
+  // The decoder's received-word buffers live in this scope's arena;
+  // the decoder is a local below, so it destructs before the scope.
+  ArenaScope arena_scope(stage_arena(config_.use_arena));
   WallTimer wt(&wall_seconds_);
   PrimeState& st = state_at(prime_index);
   const std::size_t k = config_.num_nodes;
@@ -536,6 +550,7 @@ void ProofSession::run_prime_streaming(std::size_t prime_index,
     }
   };
   auto worker = [&]() {
+    ArenaScope arena_scope(stage_arena(config_.use_arena));
     try {
       while (!errors.failed()) {
         // Chunk boundary: an expired deadline stops this prime here
@@ -604,6 +619,10 @@ void ProofSession::run_prime_streaming(std::size_t prime_index,
 }
 
 RunReport ProofSession::run_streaming(const StreamingSymbolChannel& channel) {
+  // Outermost declaration: the flights below hold decoders whose
+  // received-word buffers live in this scope's arena, and they must
+  // destruct before the binding is restored.
+  ArenaScope arena_scope(stage_arena(config_.use_arena));
   reset_for_run();
   WallTimer wt(&wall_seconds_);
   const std::size_t k = config_.num_nodes;
@@ -683,6 +702,7 @@ RunReport ProofSession::run_streaming(const StreamingSymbolChannel& channel) {
     drain(pi, /*to_exhaustion=*/last);
   };
   auto worker = [&]() {
+    ArenaScope arena_scope(stage_arena(config_.use_arena));
     try {
       while (!errors.failed()) {
         const std::size_t t = next_task.fetch_add(1);

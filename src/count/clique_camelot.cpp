@@ -1,7 +1,9 @@
 #include "count/clique_camelot.hpp"
 
+#include <span>
 #include <stdexcept>
 
+#include "core/arena.hpp"
 #include "poly/lagrange.hpp"
 #include "yates/yates.hpp"
 
@@ -33,7 +35,7 @@ class Form62Evaluator : public Evaluator {
     const std::size_t n = input_.size();
     // Step 1: Lambda_r(x0) for r = 1..R by the factorial trick, O(R)
     // multiplications and no inversion (cache is point-independent).
-    std::vector<u64> lambda = lagrange_.basis_mont(x0);
+    const ScratchVec lambda = lagrange_.basis_mont_scratch(x0);
     // Step 2: interpolated coefficient matrices via Yates on the
     // Kronecker-structured tables (eq. (17)/(18)).
     Matrix alpha_mat = coefficient_matrix(alpha_table_, lambda, n);
@@ -49,7 +51,7 @@ class Form62Evaluator : public Evaluator {
 
  private:
   Matrix coefficient_matrix(const std::vector<u64>& table_mont,
-                            const std::vector<u64>& lambda_mont,
+                            std::span<const u64> lambda_mont,
                             std::size_t n) const {
     const MontgomeryField& m = lagrange_.mont();
     const std::size_t nn = dec_.n0 * dec_.n0;

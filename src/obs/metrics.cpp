@@ -73,6 +73,11 @@ double Histogram::Snapshot::mean() const noexcept {
 
 Histogram::Snapshot Histogram::Snapshot::delta_since(
     const Snapshot& earlier) const {
+  // A default-constructed Snapshot is the natural "before anything"
+  // baseline (bench windowing starts from one); the whole window is
+  // the delta. Only a *populated* baseline with different buckets is
+  // a caller error.
+  if (earlier.bins.empty()) return *this;
   if (earlier.bins.size() != bins.size()) {
     throw std::invalid_argument("Histogram::Snapshot: bucket mismatch");
   }

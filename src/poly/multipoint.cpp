@@ -102,7 +102,7 @@ namespace {
 // AVX2 lanes (same multiplication sequence, so the remainder words
 // are bit-identical); rows shorter than two vectors stay on the
 // scalar loop, where call overhead would dominate.
-void monic_rem_inplace(std::vector<u64>& r, const std::vector<u64>& b,
+void monic_rem_inplace(ScratchVec& r, const std::vector<u64>& b,
                        const MontgomeryField& mref, bool simd) {
   const std::size_t db = b.size() - 1;  // deg b; b.back() == one()
   if (simd && db >= 8) {
@@ -132,7 +132,7 @@ void monic_rem_inplace(std::vector<u64>& r, const std::vector<u64>& b,
 
 }  // namespace
 
-void SubproductTree::node_rem(std::vector<u64>& r, std::size_t level,
+void SubproductTree::node_rem(ScratchVec& r, std::size_t level,
                               std::size_t idx) const {
   const Poly& b = levels_[level][idx];
   const std::size_t db = b.c.size() - 1;
@@ -188,7 +188,7 @@ void SubproductTree::node_rem(std::vector<u64>& r, std::size_t level,
   }
 }
 
-void SubproductTree::eval_rec(std::vector<u64>& r, std::size_t level,
+void SubproductTree::eval_rec(ScratchVec& r, std::size_t level,
                               std::size_t idx, std::size_t lo, std::size_t hi,
                               std::vector<u64>& out) const {
   if (level == 0) {
@@ -206,7 +206,7 @@ void SubproductTree::eval_rec(std::vector<u64>& r, std::size_t level,
     eval_rec(r, level - 1, left, lo, hi, out);
     return;
   }
-  std::vector<u64> rl = r;
+  ScratchVec rl = r;  // left-spine copy: arena scratch, freed per node
   node_rem(rl, level - 1, left);
   eval_rec(rl, level - 1, left, lo, mid, out);
   node_rem(r, level - 1, right);
@@ -215,7 +215,7 @@ void SubproductTree::eval_rec(std::vector<u64>& r, std::size_t level,
 
 std::vector<u64> SubproductTree::evaluate_mont(const Poly& p_mont) const {
   std::vector<u64> out(points_.size(), 0);
-  std::vector<u64> r = p_mont.c;
+  ScratchVec r(p_mont.c.begin(), p_mont.c.end());
   node_rem(r, levels_.size() - 1, 0);
   eval_rec(r, levels_.size() - 1, 0, 0, points_.size(), out);
   return out;
@@ -231,12 +231,33 @@ std::vector<u64> SubproductTree::evaluate(const Poly& p,
   return out;
 }
 
-Poly SubproductTree::interp_rec(std::span<const u64> weighted,
-                                std::size_t level, std::size_t idx,
-                                std::size_t lo, std::size_t hi) const {
+ScratchVec SubproductTree::mul_scratch(std::span<const u64> a,
+                                       std::span<const u64> b) const {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out = a.size() + b.size() - 1;
+  if (ntt_ != nullptr && out >= poly_detail::kNttThreshold &&
+      out <= ntt_->capacity()) {
+    return simd_ ? ntt_convolve_scratch(a, b, MontgomeryAvx2Field(mont_),
+                                        ntt_.get())
+                 : ntt_convolve_scratch(a, b, mont_, ntt_.get());
+  }
+  if (out >= poly_detail::kNttThreshold && ntt_supports_size(mont_, out)) {
+    return simd_ ? ntt_convolve_scratch(a, b, MontgomeryAvx2Field(mont_))
+                 : ntt_convolve_scratch(a, b, mont_);
+  }
+  // kara_rec runs the same addmul rows as schoolbook below its
+  // threshold, so one ladder covers every sub-NTT size.
+  return simd_ ? poly_detail::kara<MontgomeryAvx2Field, ScratchVec>(
+                     a, b, MontgomeryAvx2Field(mont_))
+               : poly_detail::kara<MontgomeryField, ScratchVec>(a, b, mont_);
+}
+
+ScratchVec SubproductTree::interp_rec(std::span<const u64> weighted,
+                                      std::size_t level, std::size_t idx,
+                                      std::size_t lo, std::size_t hi) const {
   if (level == 0) {
-    Poly p;
-    if (weighted[lo] != 0) p.c.push_back(weighted[lo]);
+    ScratchVec p;
+    if (weighted[lo] != 0) p.push_back(weighted[lo]);
     return p;
   }
   const std::size_t span = std::size_t{1} << (level - 1);
@@ -247,10 +268,17 @@ Poly SubproductTree::interp_rec(std::span<const u64> weighted,
   if (right >= child_level.size()) {
     return interp_rec(weighted, level - 1, left, lo, hi);
   }
-  Poly pl = interp_rec(weighted, level - 1, left, lo, mid);
-  Poly pr = interp_rec(weighted, level - 1, right, mid, hi);
-  return poly_add(mul(pl, child_level[right]), mul(pr, child_level[left]),
-                  mont_);
+  const ScratchVec pl = interp_rec(weighted, level - 1, left, lo, mid);
+  const ScratchVec pr = interp_rec(weighted, level - 1, right, mid, hi);
+  ScratchVec sum = mul_scratch(pl, child_level[right].c);
+  ScratchVec other = mul_scratch(pr, child_level[left].c);
+  if (sum.size() < other.size()) sum.swap(other);
+  const MontgomeryField m = mont_;
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    sum[i] = m.add(sum[i], other[i]);
+  }
+  while (!sum.empty() && sum.back() == 0) sum.pop_back();
+  return sum;
 }
 
 Poly SubproductTree::interpolate_mont(
@@ -262,7 +290,7 @@ Poly SubproductTree::interpolate_mont(
   const Poly dm = poly_derivative(root_mont(), mont_);
   std::vector<u64> denom = evaluate_mont(dm);
   std::vector<u64> inv_denom = mont_.batch_inv(denom);
-  std::vector<u64> weighted(values_mont.size());
+  ScratchVec weighted(values_mont.size());
   if (simd_) {
     MontgomeryAvx2Field(mont_).mul_vec(values_mont.data(), inv_denom.data(),
                                        weighted.data(), values_mont.size());
@@ -271,7 +299,10 @@ Poly SubproductTree::interpolate_mont(
       weighted[i] = mont_.mul(values_mont[i], inv_denom[i]);
     }
   }
-  Poly p = interp_rec(weighted, levels_.size() - 1, 0, 0, points_.size());
+  const ScratchVec coeffs =
+      interp_rec(weighted, levels_.size() - 1, 0, 0, points_.size());
+  Poly p;
+  p.c.assign(coeffs.begin(), coeffs.end());
   p.trim();
   return p;
 }

@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "field/field_ops.hpp"
 #include "field/montgomery.hpp"
 #include "poly/poly.hpp"
@@ -91,9 +92,9 @@ class SubproductTree {
 
   // r := r mod node(level, idx), dispatching between the cached-
   // inverse fast division and the schoolbook elimination. Leaves r
-  // with exactly deg(node) entries.
-  void node_rem(std::vector<u64>& r, std::size_t level,
-                std::size_t idx) const;
+  // with exactly deg(node) entries. The remainder lives in arena
+  // scratch for the duration of one descent.
+  void node_rem(ScratchVec& r, std::size_t level, std::size_t idx) const;
 
   // levels_[0] = leaves (x - x_i); levels_.back() = {root}; all
   // coefficients Montgomery-domain.
@@ -116,10 +117,21 @@ class SubproductTree {
 
   // Tree descent on a raw (Montgomery-domain) remainder vector; the
   // caller's copy of r is consumed in place along the right spine.
-  void eval_rec(std::vector<u64>& r, std::size_t level, std::size_t idx,
+  // The per-node left copies are arena scratch — the descent's whole
+  // O(d log d) allocation churn stays inside the bound region.
+  void eval_rec(ScratchVec& r, std::size_t level, std::size_t idx,
                 std::size_t lo, std::size_t hi, std::vector<u64>& out) const;
-  Poly interp_rec(std::span<const u64> weighted, std::size_t level,
-                  std::size_t idx, std::size_t lo, std::size_t hi) const;
+  // Interpolation ascent on raw coefficient buffers: every partial
+  // interpolant and product temporary is arena scratch; only the
+  // finished polynomial is copied out into the returned Poly. (Exact
+  // mod-q arithmetic makes the coefficient words independent of the
+  // product algorithm, so the scratch ladder below needs no separate
+  // golden path.)
+  ScratchVec interp_rec(std::span<const u64> weighted, std::size_t level,
+                        std::size_t idx, std::size_t lo, std::size_t hi) const;
+  // mul() for the ascent: same tabled-NTT/ladder dispatch, scratch
+  // coefficients in and out.
+  ScratchVec mul_scratch(std::span<const u64> a, std::span<const u64> b) const;
 };
 
 // Convenience one-shot wrappers.

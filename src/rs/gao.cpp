@@ -141,13 +141,17 @@ GaoResult gao_decode(const ReedSolomonCode& code,
     throw std::invalid_argument("gao_decode: received length mismatch");
   }
   const PrimeField& f = code.ops().prime();
-  std::vector<u64> canonical(received.begin(), received.end());
+  ScratchVec canonical(received.begin(), received.end());
   for (u64& v : canonical) v = f.reduce(v);
   if (code.ops().backend() == FieldBackend::kPrimeDivision) {
     return gao_decode_prepared(code, canonical, canonical);
   }
-  return gao_decode_prepared(code, canonical,
-                             code.ops().mont().to_mont_vec(canonical));
+  const MontgomeryField& m = code.ops().mont();
+  ScratchVec domain(canonical.size(), 0);
+  for (std::size_t i = 0; i < canonical.size(); ++i) {
+    domain[i] = m.to_mont(canonical[i]);
+  }
+  return gao_decode_prepared(code, canonical, domain);
 }
 
 StreamingGaoDecoder::StreamingGaoDecoder(const ReedSolomonCode& code)

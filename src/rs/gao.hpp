@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "core/arena.hpp"
 #include "rs/reed_solomon.hpp"
 
 namespace camelot {
@@ -72,8 +73,10 @@ class StreamingGaoDecoder {
   std::size_t absorbed() const noexcept { return absorbed_; }
   // True once every one of the code's e positions has been absorbed.
   bool ready() const noexcept { return absorbed_ == canonical_.size(); }
-  // Canonical received word (meaningful once ready()).
-  const std::vector<u64>& received() const noexcept { return canonical_; }
+  // Canonical received word (meaningful once ready()). Lives in the
+  // arena bound when the decoder was constructed; callers that keep
+  // the word past the decoder's lifetime copy it out.
+  const ScratchVec& received() const noexcept { return canonical_; }
 
   // Runs interpolation + remainder sequence; requires ready().
   GaoResult finish() const;
@@ -81,8 +84,8 @@ class StreamingGaoDecoder {
  private:
   const ReedSolomonCode& code_;
   bool montgomery_;
-  std::vector<u64> canonical_;  // received word, canonical domain
-  std::vector<u64> domain_;     // same word in the backend's domain
+  ScratchVec canonical_;  // received word, canonical domain
+  ScratchVec domain_;     // same word in the backend's domain
   std::vector<bool> seen_;
   std::size_t absorbed_ = 0;
 };

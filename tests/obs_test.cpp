@@ -140,6 +140,21 @@ TEST(Histogram, DeltaSinceWindowsABatch) {
                std::invalid_argument);
 }
 
+TEST(Histogram, DeltaSinceEmptyBaselineIsFullWindow) {
+  // A default-constructed Snapshot is the "before anything happened"
+  // baseline (bench windowing starts from one); it must yield the
+  // whole later snapshot, not a bucket-mismatch throw. Only a
+  // populated baseline with different buckets is a caller error.
+  Histogram h({0.001, 0.01});
+  h.observe(0.005);
+  h.observe(0.005);
+  const Histogram::Snapshot window =
+      h.snapshot().delta_since(Histogram::Snapshot{});
+  EXPECT_EQ(window.count(), 2u);
+  EXPECT_EQ(window.bins[1], 2u);
+  EXPECT_NEAR(window.sum_seconds, 0.01, 1e-9);
+}
+
 TEST(Histogram, MergeAddsAcrossWorkers) {
   Histogram a({0.001, 0.01}), b({0.001, 0.01});
   a.observe(0.0005);
