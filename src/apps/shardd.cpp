@@ -1,0 +1,50 @@
+// Shard worker daemon: speaks the length-prefixed ShardFrame protocol
+// on stdin/stdout and runs the per-prime streaming pipeline for
+// whatever prime subsets the coordinator submits. One coordinator
+// spawns N of these; see core/shard.hpp for the protocol and the
+// determinism contract.
+//
+// Lifecycle: exits 0 on kShutdown or stdin EOF (the coordinator
+// closing its end is the normal teardown path, so a dead coordinator
+// never leaves orphaned workers grinding). On Linux the parent-death
+// signal makes even a SIGKILLed coordinator take its workers down.
+//
+// --crash-after-primes=N is a fault-injection hook: hard-exit after
+// settling N primes, exercising the coordinator's retry path.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <signal.h>
+#include <sys/prctl.h>
+#include <unistd.h>
+#endif
+
+#include "core/shard.hpp"
+
+int main(int argc, char** argv) {
+  std::size_t crash_after_primes = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--crash-after-primes=", 21) == 0) {
+      crash_after_primes = std::strtoull(arg + 21, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: shardd [--crash-after-primes=N]\n"
+                   "speaks the camelot shard protocol on stdin/stdout; not "
+                   "meant to be run by hand\n");
+      return 2;
+    }
+  }
+
+#ifdef __linux__
+  // Belt to the EOF braces: if the coordinator dies without closing
+  // the pipes (SIGKILL), the kernel delivers SIGKILL here too.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (::getppid() == 1) return 0;  // parent already gone before prctl
+#endif
+
+  return camelot::run_shard_worker(/*in_fd=*/0, /*out_fd=*/1,
+                                   crash_after_primes);
+}

@@ -49,6 +49,15 @@ struct ClusterConfig {
   // bit-identical either way, so A/B runs need no other change. The
   // CAMELOT_ARENA=off environment override wins over this flag.
   bool use_arena = true;
+  // Selective-repair budget for lossy (erasure) transports: how many
+  // re-prepare rounds a prime may spend re-pushing chunks the stream
+  // dropped before the shortfall becomes a decode failure
+  // (DecodeStatus::kDecodeFailure, never a hang or a throw). Each
+  // round re-evaluates only the missing message positions (the parity
+  // tail re-ships from the systematic extension) — see
+  // ProofSession::run_prime_streaming. Irrelevant for lossless and
+  // purely-corrupting transports, which never deliver short.
+  std::size_t repair_budget = 3;
 };
 
 struct NodeStats {
@@ -76,6 +85,13 @@ struct PrimeRunReport {
   // run below the crossover; > 1 = recursive cascade engaged).
   std::size_t decode_quotient_steps = 0;
   std::size_t decode_hgcd_calls = 0;
+  // Selective-repair work this prime's transport needed (0 on
+  // lossless channels): rounds of re-prepare after a decode
+  // shortfall, and how many symbols were re-pushed across them. Both
+  // are deterministic functions of (seed, prime, loss spec), so they
+  // participate in golden report comparisons.
+  std::size_t repair_rounds = 0;
+  std::size_t repaired_symbols = 0;
   // Residues of the answers modulo this prime (valid iff decoded).
   std::vector<u64> answer_residues;
 };

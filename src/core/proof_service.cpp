@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/arena.hpp"
+#include "core/erasure_stream.hpp"
 #include "core/proof_session.hpp"
 #include "core/symbol_stream.hpp"
 #include "obs/trace.hpp"
@@ -18,6 +19,9 @@ namespace camelot {
 struct ProofService::Job {
   std::shared_ptr<const CamelotProblem> problem;
   std::shared_ptr<const ByzantineAdversary> adversary;
+  // When the submit asked for loss, `channel` is the erasure wrapper
+  // and `base_channel` the lossless/adversarial stack under it.
+  std::unique_ptr<StreamingSymbolChannel> base_channel;
   std::unique_ptr<StreamingSymbolChannel> channel;
   std::unique_ptr<ProofSession> session;
   std::promise<RunReport> promise;
@@ -50,6 +54,8 @@ ProofService::ProofService(ProofServiceConfig config)
   decode_quotient_steps_ =
       &metrics_->counter("camelot_decode_quotient_steps_total");
   decode_hgcd_calls_ = &metrics_->counter("camelot_decode_hgcd_calls_total");
+  repair_rounds_ = &metrics_->counter("camelot_repair_rounds_total");
+  repaired_symbols_ = &metrics_->counter("camelot_repaired_symbols_total");
   queue_depth_ = &metrics_->gauge("camelot_queue_depth");
   queue_depth_high_water_ =
       &metrics_->gauge("camelot_queue_depth_high_water");
@@ -227,6 +233,8 @@ void ProofService::run_task(const Task& task) {
       for (const PrimeRunReport& pr : report.per_prime) {
         decode_quotient_steps_->inc(pr.decode_quotient_steps);
         decode_hgcd_calls_->inc(pr.decode_hgcd_calls);
+        repair_rounds_->inc(pr.repair_rounds);
+        repaired_symbols_->inc(pr.repaired_symbols);
       }
       // Submit-to-settle latency: the distribution the predictive
       // shedder reads, so it only ever learns from completions.
@@ -301,6 +309,14 @@ std::future<RunReport> ProofService::submit(
         std::make_unique<AdversarialStreamingChannel>(*job->adversary);
   } else {
     job->channel = std::make_unique<LosslessStreamingChannel>();
+  }
+  if (options.loss_rate > 0.0) {
+    // Erasure transport on top of the corruption stack: the job's
+    // primes will exercise selective repair under the scheduler.
+    job->base_channel = std::move(job->channel);
+    job->channel = std::make_unique<ErasureStreamingChannel>(
+        LossSpec{options.loss_rate, options.loss_seed},
+        job->base_channel.get());
   }
   job->session = std::make_unique<ProofSession>(
       *job->problem, config, cache_, std::move(plan), codes_, metrics_);
@@ -409,6 +425,8 @@ ProofService::Stats ProofService::stats() const {
   out.plan_cache_misses = plan_cache_misses_->value();
   out.decode_quotient_steps = decode_quotient_steps_->value();
   out.decode_hgcd_calls = decode_hgcd_calls_->value();
+  out.repair_rounds = repair_rounds_->value();
+  out.repaired_symbols = repaired_symbols_->value();
   out.queue_depth_high_water =
       static_cast<std::size_t>(queue_depth_high_water_->value());
   out.workers_active = static_cast<std::size_t>(workers_active_gauge_->value());

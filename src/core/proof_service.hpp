@@ -122,6 +122,14 @@ struct SubmitOptions {
   // primes (SessionCancelled propagation), so an expired job stops
   // burning workers mid-prime.
   std::chrono::milliseconds deadline{0};
+  // Lossy-transport simulation: when > 0 the job's streaming channel
+  // runs through an ErasureStreamingChannel at this marginal
+  // per-symbol drop rate (composing with the adversary's corruption,
+  // seeded by loss_seed), so the job's primes exercise selective
+  // repair under the scheduler — bounded by the submitted
+  // ClusterConfig::repair_budget.
+  double loss_rate = 0.0;
+  u64 loss_seed = 0;
 };
 
 class ProofService {
@@ -186,6 +194,11 @@ class ProofService {
     // when tuning CAMELOT_HGCD_CROSSOVER.
     std::size_t decode_quotient_steps = 0;
     std::size_t decode_hgcd_calls = 0;
+    // Selective-repair work aggregated over completed jobs' primes:
+    // repair rounds entered and symbols re-pushed after erasure
+    // shortfalls (0 unless submits carry a loss_rate).
+    std::size_t repair_rounds = 0;
+    std::size_t repaired_symbols = 0;
     // Snapshots of the shared caches (same objects reachable through
     // field_cache()/code_cache(), surfaced here so one stats() call
     // is a complete metrics scrape).
@@ -253,6 +266,8 @@ class ProofService {
   obs::Counter* plan_cache_misses_ = nullptr;
   obs::Counter* decode_quotient_steps_ = nullptr;
   obs::Counter* decode_hgcd_calls_ = nullptr;
+  obs::Counter* repair_rounds_ = nullptr;
+  obs::Counter* repaired_symbols_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Gauge* queue_depth_high_water_ = nullptr;
   obs::Gauge* workers_active_gauge_ = nullptr;

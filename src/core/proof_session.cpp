@@ -166,6 +166,10 @@ void ProofSession::invalidate_downstream(PrimeState& st,
     st.report.decode_quotient_steps = 0;
     st.report.decode_hgcd_calls = 0;
   }
+  if (new_stage < SessionStage::kTransported) {
+    st.report.repair_rounds = 0;
+    st.report.repaired_symbols = 0;
+  }
   if (new_stage < SessionStage::kVerified) st.report.verified = false;
   if (new_stage < SessionStage::kRecovered) st.report.answer_residues.clear();
 }
@@ -506,6 +510,74 @@ void ProofSession::finalize_prime_stream(PrimeState& st,
   apply_recover(st);
 }
 
+ProofSession::RepairOutcome ProofSession::repair_stream_shortfall(
+    PrimeState& st, SymbolStream& stream, StreamingGaoDecoder& decoder,
+    const SessionCancelFn& cancel) {
+  const std::size_t m = message_prefix();
+  for (std::size_t round = 1; !decoder.ready(); ++round) {
+    if (round > config_.repair_budget) return RepairOutcome::kBudgetExhausted;
+    if (!stream.reopen_for_repair(round)) {
+      // A transport that refuses round 1 cannot lose symbols by
+      // contract — the shortfall is a bug, not weather. A transport
+      // that accepted earlier rounds but refuses now is out of repair
+      // capacity; treat it like a spent budget.
+      return round == 1 ? RepairOutcome::kUnsupported
+                        : RepairOutcome::kBudgetExhausted;
+    }
+    st.report.repair_rounds = round;
+    // Missing runs, split at node boundaries: the owner of each piece
+    // re-prepares it. Message positions go back through the owner's
+    // evaluator (an evaluator-prefix call under systematic encoding —
+    // identical values, so repaired runs stay bit-identical); the
+    // parity tail re-ships from the systematic extension still in
+    // st.sent.
+    for (const auto& [rlo, rhi] : decoder.missing_runs()) {
+      std::size_t pos = rlo;
+      while (pos < rhi) {
+        if (cancel && cancel()) throw SessionCancelled();
+        const std::size_t node = owners_[pos];
+        const std::size_t end = std::min(rhi, node_chunk(node).second);
+        const std::size_t mend = std::min(end, m);
+        if (pos < mend) {
+          std::vector<u64> values = evaluate_node_range(st, node, pos, mend);
+          std::copy(values.begin(), values.end(),
+                    st.sent.begin() + static_cast<long>(pos));
+        }
+        SymbolChunk chunk;
+        chunk.offset = pos;
+        chunk.node = node;
+        chunk.symbols.assign(st.sent.begin() + static_cast<long>(pos),
+                             st.sent.begin() + static_cast<long>(end));
+        stream.push(std::move(chunk));
+        st.report.repaired_symbols += end - pos;
+        pos = end;
+      }
+    }
+    stream.close();
+    while (!stream.exhausted()) {
+      if (cancel && cancel()) throw SessionCancelled();
+      if (auto c = stream.poll()) {
+        obs::StageSpan span(stage_transport_, obs::kTraceSched, "repair",
+                            st.prime);
+        decoder.absorb(c->offset, c->symbols);
+      }
+    }
+  }
+  return RepairOutcome::kRepaired;
+}
+
+void ProofSession::fail_prime_stream(PrimeState& st) {
+  // The received word stays empty — there is no complete word to
+  // expose — but the pipeline still runs to kRecovered so report()
+  // and complete() see a settled (failed) prime, exactly like a
+  // beyond-radius decode.
+  st.received.clear();
+  st.stage = SessionStage::kTransported;
+  apply_decode(st, GaoResult{});
+  apply_verify(st);
+  apply_recover(st);
+}
+
 void ProofSession::run_prime_streaming(std::size_t prime_index,
                                        const StreamingSymbolChannel& channel,
                                        const SessionCancelFn& cancel) {
@@ -611,6 +683,15 @@ void ProofSession::run_prime_streaming(std::size_t prime_index,
         decoder.absorb(c->offset, c->symbols);
       }
     }
+    // Lossy transport: the drained stream left the decoder short.
+    // Selective repair re-pushes only the missing chunks; a spent
+    // budget settles the prime as a decode failure.
+    if (!decoder.ready() &&
+        repair_stream_shortfall(st, *stream, decoder, cancel) ==
+            RepairOutcome::kBudgetExhausted) {
+      fail_prime_stream(st);
+      return;
+    }
   } catch (const SessionCancelled&) {
     reset_prime(prime_index);  // leave no half-prepared stage behind
     throw;
@@ -670,6 +751,17 @@ RunReport ProofSession::run_streaming(const StreamingSymbolChannel& channel) {
                               primes_[pi].prime);
           fl.decoder->absorb(c->offset, c->symbols);
         }
+      }
+      // A fully-drained lossy stream leaves the decoder short: run
+      // selective repair right here (under the flight lock, while
+      // other primes keep preparing); a spent budget settles the
+      // prime as a decode failure.
+      if (to_exhaustion && !fl.decoder->ready() &&
+          repair_stream_shortfall(primes_[pi], *fl.stream, *fl.decoder,
+                                  SessionCancelFn()) ==
+              RepairOutcome::kBudgetExhausted) {
+        if (!fl.finalized.exchange(true)) fail_prime_stream(primes_[pi]);
+        return;
       }
       if (!fl.decoder->ready()) return;
     }

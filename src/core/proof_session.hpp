@@ -248,6 +248,26 @@ class ProofSession {
   // Back half: requires a fully-absorbed decoder; runs decode ->
   // verify -> recover (throws if the stream delivered short).
   void finalize_prime_stream(PrimeState& st, StreamingGaoDecoder& decoder);
+  // Selective repair after a drained stream left the decoder short
+  // (lossy transports): round by round, re-arms the stream via
+  // reopen_for_repair, re-evaluates only the missing *message*
+  // positions through the owners' evaluators (an evaluator-prefix
+  // call under systematic encoding), re-ships the missing parity tail
+  // from the systematic extension already in st.sent, and drains the
+  // re-pushed chunks into the decoder. Bounded by
+  // config.repair_budget rounds.
+  enum class RepairOutcome {
+    kUnsupported,      // transport accepts no repair traffic
+    kBudgetExhausted,  // budget spent, symbols still missing
+    kRepaired,         // decoder fully absorbed
+  };
+  RepairOutcome repair_stream_shortfall(PrimeState& st, SymbolStream& stream,
+                                        StreamingGaoDecoder& decoder,
+                                        const SessionCancelFn& cancel);
+  // Terminal shortfall: the prime's pipeline completes as a decode
+  // failure (never a hang or a throw) — empty received word, no
+  // verification, no residues.
+  void fail_prime_stream(PrimeState& st);
   // [lo, hi) bounds of node j's contiguous codeword chunk (the closed
   // form of symbol_owner: owner(i) = floor(i*K/e)).
   std::pair<std::size_t, std::size_t> node_chunk(std::size_t node) const;

@@ -57,6 +57,15 @@ class QueueStream : public SymbolStream {
     return closed_ && queue_.empty();
   }
 
+  bool reopen_for_repair(std::size_t round) override {
+    CAMELOT_TRACE_MSG(obs::kTraceStream,
+                      "stream reopen prime=%llu round=%zu",
+                      static_cast<unsigned long long>(spec_.prime), round);
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+    return true;
+  }
+
  protected:
   // Applied to each chunk before it becomes deliverable.
   virtual void transform(SymbolChunk& chunk) { (void)chunk; }
@@ -121,6 +130,10 @@ class RateLimitedStream final : public SymbolStream {
   bool exhausted() override {
     std::lock_guard<std::mutex> lock(mu_);
     return !partial_.has_value() && inner_->exhausted();
+  }
+
+  bool reopen_for_repair(std::size_t round) override {
+    return inner_->reopen_for_repair(round);
   }
 
  private:

@@ -75,6 +75,19 @@ class SymbolStream {
   // True once the stream is closed and every deliverable symbol has
   // been polled.
   virtual bool exhausted() = 0;
+
+  // Repair support: re-arm a closed stream for repair round `round`
+  // (1-based) so selective re-prepare can re-push chunks the transport
+  // lost. Returns false when the transport accepts no repair traffic
+  // (the default — a transport that never loses symbols has nothing to
+  // repair). An erasure stream re-seeds its loss schedule per round, so
+  // a retransmitted chunk is not deterministically re-dropped; a
+  // corrupting inner stream keeps its positional plan, so a repaired
+  // symbol carries exactly the value the first delivery would have.
+  virtual bool reopen_for_repair(std::size_t round) {
+    (void)round;
+    return false;
+  }
 };
 
 // Factory for per-prime streams.

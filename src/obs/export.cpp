@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
+#include <cstdlib>
+#include <stdexcept>
 #include <cstdio>
 
 namespace camelot {
@@ -96,6 +98,222 @@ std::string render_json(const Registry::Snapshot& snap) {
   out += snap.histograms.empty() ? "}\n" : "\n  }\n";
   out += "}\n";
   return out;
+}
+
+namespace {
+
+// Recursive-descent reader over the fixed shape render_json emits.
+// Not a general JSON parser: object keys are metric names (no escape
+// processing beyond refusing embedded quotes, which Registry never
+// produces), values are numbers / the histogram object. Anything off
+// the rails throws, so a truncated or foreign frame fails loudly at
+// the coordinator instead of merging garbage into the fleet scrape.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : s_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      throw std::runtime_error(std::string("obs snapshot parse: expected '") +
+                               c + "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string_value() {
+    expect('"');
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        throw std::runtime_error(
+            "obs snapshot parse: escape sequences unsupported");
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) {
+      throw std::runtime_error("obs snapshot parse: unterminated string");
+    }
+    std::string out = s_.substr(start, pos_ - start);
+    ++pos_;
+    return out;
+  }
+
+  double number_value() {
+    skip_ws();
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) {
+      throw std::runtime_error("obs snapshot parse: expected number at offset " +
+                               std::to_string(pos_));
+    }
+    pos_ += std::size_t(end - begin);
+    return v;
+  }
+
+  void finish() {
+    skip_ws();
+    if (pos_ != s_.size()) {
+      throw std::runtime_error("obs snapshot parse: trailing data at offset " +
+                               std::to_string(pos_));
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// Parses `"name": <value>` pairs until the closing brace, handing each
+// name to `on_entry` with the cursor positioned at the value.
+template <typename Fn>
+void parse_object(JsonCursor& cur, Fn&& on_entry) {
+  cur.expect('{');
+  if (cur.consume('}')) return;
+  do {
+    std::string name = cur.string_value();
+    cur.expect(':');
+    on_entry(std::move(name));
+  } while (cur.consume(','));
+  cur.expect('}');
+}
+
+}  // namespace
+
+Registry::Snapshot parse_json_snapshot(const std::string& json) {
+  Registry::Snapshot snap;
+  JsonCursor cur(json);
+  cur.expect('{');
+
+  if (cur.string_value() != "counters") {
+    throw std::runtime_error("obs snapshot parse: expected \"counters\"");
+  }
+  cur.expect(':');
+  parse_object(cur, [&](std::string name) {
+    snap.counters.emplace_back(std::move(name),
+                               std::uint64_t(cur.number_value()));
+  });
+  cur.expect(',');
+
+  if (cur.string_value() != "gauges") {
+    throw std::runtime_error("obs snapshot parse: expected \"gauges\"");
+  }
+  cur.expect(':');
+  parse_object(cur, [&](std::string name) {
+    snap.gauges.emplace_back(std::move(name),
+                             std::int64_t(cur.number_value()));
+  });
+  cur.expect(',');
+
+  if (cur.string_value() != "histograms") {
+    throw std::runtime_error("obs snapshot parse: expected \"histograms\"");
+  }
+  cur.expect(':');
+  parse_object(cur, [&](std::string name) {
+    Histogram::Snapshot h;
+    cur.expect('{');
+    if (cur.string_value() != "bounds") {
+      throw std::runtime_error("obs snapshot parse: expected \"bounds\"");
+    }
+    cur.expect(':');
+    cur.expect('[');
+    if (!cur.consume(']')) {
+      do {
+        h.bounds.push_back(cur.number_value());
+      } while (cur.consume(','));
+      cur.expect(']');
+    }
+    cur.expect(',');
+    if (cur.string_value() != "bins") {
+      throw std::runtime_error("obs snapshot parse: expected \"bins\"");
+    }
+    cur.expect(':');
+    cur.expect('[');
+    if (!cur.consume(']')) {
+      do {
+        h.bins.push_back(std::uint64_t(cur.number_value()));
+      } while (cur.consume(','));
+      cur.expect(']');
+    }
+    cur.expect(',');
+    if (cur.string_value() != "sum") {
+      throw std::runtime_error("obs snapshot parse: expected \"sum\"");
+    }
+    cur.expect(':');
+    h.sum_seconds = cur.number_value();
+    cur.expect(',');
+    if (cur.string_value() != "count") {
+      throw std::runtime_error("obs snapshot parse: expected \"count\"");
+    }
+    cur.expect(':');
+    const auto declared = std::uint64_t(cur.number_value());
+    cur.expect('}');
+    if (h.bins.size() != h.bounds.size() + 1) {
+      throw std::runtime_error("obs snapshot parse: histogram \"" + name +
+                               "\" has " + std::to_string(h.bins.size()) +
+                               " bins for " + std::to_string(h.bounds.size()) +
+                               " bounds");
+    }
+    if (declared != h.count()) {
+      throw std::runtime_error("obs snapshot parse: histogram \"" + name +
+                               "\" count disagrees with its bins");
+    }
+    snap.histograms.emplace_back(std::move(name), std::move(h));
+  });
+
+  cur.expect('}');
+  cur.finish();
+  return snap;
+}
+
+void merge_snapshot(Registry::Snapshot& dst, const Registry::Snapshot& src) {
+  // Scrapes are small (dozens of metrics); linear find keeps the
+  // containers in render order without imposing a map on callers.
+  for (const auto& [name, value] : src.counters) {
+    auto it = std::find_if(dst.counters.begin(), dst.counters.end(),
+                           [&](const auto& e) { return e.first == name; });
+    if (it == dst.counters.end()) {
+      dst.counters.emplace_back(name, value);
+    } else {
+      it->second += value;
+    }
+  }
+  for (const auto& [name, value] : src.gauges) {
+    auto it = std::find_if(dst.gauges.begin(), dst.gauges.end(),
+                           [&](const auto& e) { return e.first == name; });
+    if (it == dst.gauges.end()) {
+      dst.gauges.emplace_back(name, value);
+    } else {
+      it->second += value;
+    }
+  }
+  for (const auto& [name, h] : src.histograms) {
+    auto it = std::find_if(dst.histograms.begin(), dst.histograms.end(),
+                           [&](const auto& e) { return e.first == name; });
+    if (it == dst.histograms.end()) {
+      dst.histograms.emplace_back(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
 }
 
 std::string render_prometheus(const Registry& registry) {

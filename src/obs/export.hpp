@@ -28,5 +28,22 @@ std::string render_json(const Registry& registry);
 std::string render_prometheus(const Registry::Snapshot& snap);
 std::string render_json(const Registry::Snapshot& snap);
 
+// Inverse of render_json: parses a snapshot a peer process rendered
+// (the sharded service ships per-process scrapes as JSON frames and
+// the coordinator rolls them up). Accepts exactly the shape
+// render_json emits — counters/gauges/histograms with raw bins —
+// with tolerant whitespace; throws std::runtime_error on anything
+// else. Round-trip property: parse_json_snapshot(render_json(s))
+// compares equal to s field by field.
+Registry::Snapshot parse_json_snapshot(const std::string& json);
+
+// Fleet rollup: folds `src` into `dst` by metric name — counters and
+// gauges add; histograms merge bin-wise via Histogram::Snapshot::merge
+// (bounds must agree); metrics absent from `dst` are inserted. The
+// result of merging N per-shard scrapes is the scrape one process
+// running all N workloads would have produced (equal counts; equal
+// bins wherever observations are deterministic).
+void merge_snapshot(Registry::Snapshot& dst, const Registry::Snapshot& src);
+
 }  // namespace obs
 }  // namespace camelot

@@ -182,6 +182,24 @@ void StreamingGaoDecoder::absorb(std::size_t offset,
   absorbed_ += symbols.size();
 }
 
+std::vector<std::pair<std::size_t, std::size_t>>
+StreamingGaoDecoder::missing_runs() const {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  const std::size_t e = seen_.size();
+  std::size_t i = 0;
+  while (i < e) {
+    if (seen_[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < e && !seen_[j]) ++j;
+    runs.emplace_back(i, j);
+    i = j;
+  }
+  return runs;
+}
+
 GaoResult StreamingGaoDecoder::finish() const {
   if (!ready()) {
     throw std::logic_error(

@@ -10,6 +10,7 @@
 // properly participate in the community effort" (§1.3, step 2).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "core/arena.hpp"
@@ -73,6 +74,11 @@ class StreamingGaoDecoder {
   std::size_t absorbed() const noexcept { return absorbed_; }
   // True once every one of the code's e positions has been absorbed.
   bool ready() const noexcept { return absorbed_ == canonical_.size(); }
+  // Repair entry point for lossy transports: the maximal contiguous
+  // runs [lo, hi) of positions not yet absorbed — exactly what a
+  // selective re-prepare must re-evaluate and re-push. Empty iff
+  // ready().
+  std::vector<std::pair<std::size_t, std::size_t>> missing_runs() const;
   // Canonical received word (meaningful once ready()). Lives in the
   // arena bound when the decoder was constructed; callers that keep
   // the word past the decoder's lifetime copy it out.

@@ -270,6 +270,96 @@ TEST(Trace, MaskControlsEnabledCategories) {
   EXPECT_FALSE(trace_enabled(kTraceRs));
 }
 
+TEST(Export, JsonRoundTripsThroughParser) {
+  Registry reg;
+  reg.counter("camelot_jobs_total").inc(41);
+  reg.counter("camelot_errors_total");
+  reg.gauge("camelot_queue_depth").set(-3);
+  Histogram& h = reg.histogram("camelot_job_latency_seconds");
+  h.observe(0.0002);
+  h.observe(0.4);
+  h.observe(1e9);  // lands in the +inf bin
+
+  const Registry::Snapshot snap = reg.snapshot();
+  const Registry::Snapshot parsed = parse_json_snapshot(render_json(snap));
+
+  ASSERT_EQ(parsed.counters, snap.counters);
+  ASSERT_EQ(parsed.gauges, snap.gauges);
+  ASSERT_EQ(parsed.histograms.size(), snap.histograms.size());
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    EXPECT_EQ(parsed.histograms[i].first, snap.histograms[i].first);
+    EXPECT_EQ(parsed.histograms[i].second.bounds,
+              snap.histograms[i].second.bounds);
+    EXPECT_EQ(parsed.histograms[i].second.bins,
+              snap.histograms[i].second.bins);
+    EXPECT_EQ(parsed.histograms[i].second.count(),
+              snap.histograms[i].second.count());
+  }
+
+  // An empty registry round-trips too (the emitter's empty-object
+  // shape is slightly different).
+  Registry empty;
+  const Registry::Snapshot eparsed =
+      parse_json_snapshot(render_json(empty.snapshot()));
+  EXPECT_TRUE(eparsed.counters.empty());
+  EXPECT_TRUE(eparsed.gauges.empty());
+  EXPECT_TRUE(eparsed.histograms.empty());
+}
+
+TEST(Export, ParserRejectsMalformedSnapshots) {
+  EXPECT_THROW(parse_json_snapshot(""), std::runtime_error);
+  EXPECT_THROW(parse_json_snapshot("{}"), std::runtime_error);
+  EXPECT_THROW(parse_json_snapshot("{\"counters\": {\"a\": 1}"),
+               std::runtime_error);
+  Registry reg;
+  reg.counter("x_total").inc();
+  const std::string good = render_json(reg.snapshot());
+  EXPECT_THROW(parse_json_snapshot(good + "trailing"), std::runtime_error);
+  // A histogram whose declared count disagrees with its bins is a
+  // corrupted frame, not a mergeable scrape.
+  EXPECT_THROW(
+      parse_json_snapshot(
+          "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {\n"
+          "    \"h\": {\"bounds\": [1], \"bins\": [2, 0], \"sum\": 0.5, "
+          "\"count\": 7}\n  }\n}\n"),
+      std::runtime_error);
+}
+
+TEST(Export, MergeSnapshotSumsAndInserts) {
+  Registry a;
+  a.counter("shared_total").inc(5);
+  a.gauge("depth").set(2);
+  Histogram& ha = a.histogram("lat_seconds");
+  ha.observe(0.001);
+  ha.observe(2.0);
+
+  Registry b;
+  b.counter("shared_total").inc(7);
+  b.counter("only_b_total").inc(3);
+  b.gauge("depth").set(4);
+  Histogram& hb = b.histogram("lat_seconds");
+  hb.observe(0.001);
+
+  Registry::Snapshot dst = a.snapshot();
+  merge_snapshot(dst, b.snapshot());
+
+  for (const auto& [name, value] : dst.counters) {
+    if (name == "shared_total") EXPECT_EQ(value, 12u);
+    if (name == "only_b_total") EXPECT_EQ(value, 3u);
+  }
+  for (const auto& [name, value] : dst.gauges) {
+    if (name == "depth") EXPECT_EQ(value, 6);
+  }
+  ASSERT_EQ(dst.histograms.size(), 1u);
+  EXPECT_EQ(dst.histograms[0].second.count(), 3u);
+  // Bins add element-wise: both 0.001 observations share a bucket.
+  const Histogram::Snapshot sa = ha.snapshot();
+  const Histogram::Snapshot sb = hb.snapshot();
+  for (std::size_t i = 0; i < sa.bins.size(); ++i) {
+    EXPECT_EQ(dst.histograms[0].second.bins[i], sa.bins[i] + sb.bins[i]);
+  }
+}
+
 TEST(Trace, StageSpanObservesHistogram) {
   Registry reg;
   Histogram& h = reg.histogram("span_seconds");
