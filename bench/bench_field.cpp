@@ -15,11 +15,14 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "field/backend_dispatch.hpp"
 #include "field/field_cache.hpp"
 #include "field/field_ops.hpp"
 #include "field/montgomery.hpp"
+#include "field/montgomery_avx512.hpp"
 #include "field/montgomery_simd.hpp"
 #include "field/primes.hpp"
+#include "linalg/matmul.hpp"
 #include "poly/fast_div.hpp"
 #include "poly/hgcd.hpp"
 #include "poly/multipoint.hpp"
@@ -559,6 +562,125 @@ int main(int argc, char** argv) {
   } else {
     std::printf("AVX2 unavailable (or CAMELOT_FORCE_SCALAR set); "
                 "skipping *_avx2 entries\n");
+  }
+
+  // --- AVX-512 backend vs scalar Montgomery -------------------------------
+  // Same shape as mul_avx2 but on 8xu64 lanes; the narrow prime takes
+  // the IFMA REDC-52 kernel when the host has it, the wide prime the
+  // vpmullq REDC-64 kernel AVX2 has no counterpart for. Only emitted
+  // when the process can run the AVX-512 kernels.
+  if (simd512_runtime_enabled()) {
+    for (const bool wide : {false, true}) {
+      const u64 qv = wide ? q : find_ntt_prime(u64{1} << 29, 20);
+      const MontgomeryField mv((PrimeField(qv)));
+      const MontgomeryAvx512Field ms512(mv);
+      constexpr std::size_t kN = 1 << 14;
+      std::vector<u64> a(kN), b(kN), out_v(kN);
+      for (auto& v : a) v = rng() % qv;
+      for (auto& v : b) v = rng() % qv;
+      const std::vector<u64> am = mv.to_mont_vec(a), bm = mv.to_mont_vec(b);
+      const double before = ns_per_op([&] {
+        u64 acc = 0;
+        for (std::size_t i = 0; i < kN; ++i) acc ^= mv.mul(am[i], bm[i]);
+        g_sink = acc;
+        return static_cast<double>(kN);
+      });
+      const double after = ns_per_op([&] {
+        ms512.mul_vec(am.data(), bm.data(), out_v.data(), kN);
+        g_sink = out_v[0];
+        return static_cast<double>(kN);
+      });
+      entries.push_back({wide ? "mul_avx512_wide" : "mul_avx512",
+                         "scalar_ns_per_op", "avx512_ns_per_op", before,
+                         after});
+    }
+  } else {
+    std::printf("AVX-512 unavailable (or forced off); "
+                "skipping *_avx512 entries\n");
+  }
+
+  // --- Shoup-tabled NTT vs REDC-tabled NTT --------------------------------
+  // The same cached-twiddle transform with the Shoup butterfly forced
+  // off ("before": REDC products against the Montgomery-domain
+  // tables) and on ("after": mulhi-quotient products against the
+  // canonical twin tables). Run on the backend FieldOps resolves for
+  // each prime — the wide entry is the payoff case: AVX2 resolves to
+  // scalar above 2^31, and the scalar/AVX-512 Shoup butterfly drops
+  // the REDC chain's second widening multiply. Identical words either
+  // way (the quotient product is exactly the REDC product).
+  {
+    FieldCache cache;
+    struct ShoupCase {
+      const char* name;
+      u64 prime;
+    };
+    const ShoupCase cases[] = {
+        {"ntt_shoup_narrow", find_ntt_prime(u64{1} << 29, 20)},
+        {"ntt_shoup_wide", q},
+    };
+    for (const ShoupCase& sc : cases) {
+      constexpr std::size_t kN = 1 << 14;
+      const FieldOps ops = cache.ops(sc.prime, kN, best_backend());
+      const MontgomeryField& mm = ops.mont();
+      const auto tables = ops.ntt_tables();
+      std::vector<u64> base(kN);
+      for (auto& v : base) v = rng() % sc.prime;
+      const std::vector<u64> base_mont = mm.to_mont_vec(base);
+      with_lane_field(ops.backend(), mm, [&](const auto& lf) {
+        set_ntt_shoup_enabled(false);
+        const double before = ns_per_op([&] {
+          std::vector<u64> a = base_mont;
+          ntt_inplace(a, false, lf, *tables);
+          g_sink = a[0];
+          return 1.0;
+        });
+        set_ntt_shoup_enabled(true);
+        const double after = ns_per_op([&] {
+          std::vector<u64> a = base_mont;
+          ntt_inplace(a, false, lf, *tables);
+          g_sink = a[0];
+          return 1.0;
+        });
+        entries.push_back({sc.name, "redc_ns_per_op", "shoup_ns_per_op",
+                           before, after});
+      });
+    }
+  }
+
+  // --- wide-prime matmul: division kernel vs Shoup products ---------------
+  // The q >= 2^32 classical kernel the linear-algebra layer used to
+  // run (one u128 % q per term) against the landed per-entry Shoup
+  // precompute. Same output words; the ratio is the cost of a
+  // hardware 128/64 division against mulhi + two mullo.
+  {
+    constexpr std::size_t kDim = 96;
+    Matrix ma(kDim, kDim), mb(kDim, kDim);
+    for (std::size_t i = 0; i < kDim; ++i) {
+      for (std::size_t j = 0; j < kDim; ++j) {
+        ma.at(i, j) = rng() % q;
+        mb.at(i, j) = rng() % q;
+      }
+    }
+    const double before = ns_per_op([&] {
+      Matrix out_m(kDim, kDim);
+      for (std::size_t i = 0; i < kDim; ++i) {
+        for (std::size_t j = 0; j < kDim; ++j) {
+          u64 acc = 0;
+          for (std::size_t t = 0; t < kDim; ++t) {
+            acc = f.add(acc, ref_mul(ma.at(i, t), mb.at(t, j), q));
+          }
+          out_m.at(i, j) = acc;
+        }
+      }
+      g_sink = out_m.at(0, 0);
+      return 1.0;
+    });
+    const double after = ns_per_op([&] {
+      g_sink = matmul_classical(ma, mb, f).at(0, 0);
+      return 1.0;
+    });
+    entries.push_back({"matmul_wide", "division_ns_per_op",
+                       "shoup_ns_per_op", before, after});
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");

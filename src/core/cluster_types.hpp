@@ -29,11 +29,12 @@ struct ClusterConfig {
   // derive_stream(seed, prime, stage) — see core/rng.hpp.
   u64 seed = 0xCA3E107;
   // Arithmetic backend for evaluators and the decode pipeline. The
-  // default asks for the AVX2 Montgomery kernels; FieldOps resolves
-  // the request at runtime and falls back to scalar Montgomery when
-  // the CPU lacks AVX2 or CAMELOT_FORCE_SCALAR is set, so the default
+  // default asks for the AVX-512 Montgomery kernels; FieldOps resolves
+  // the request at runtime and steps down the ladder (AVX-512 -> AVX2
+  // -> scalar Montgomery) when the CPU lacks the extension or
+  // CAMELOT_FORCE_SCALAR / CAMELOT_FORCE_AVX2 is set, so the default
   // is safe on every host (and bit-identical either way).
-  FieldBackend backend = FieldBackend::kMontgomeryAvx2;
+  FieldBackend backend = FieldBackend::kMontgomeryAvx512;
   // Systematic-encode fast path: honest nodes run the problem's
   // evaluator only over the message prefix [0, d+1) of the codeword
   // and the parity tail [d+1, e) comes from the code's systematic

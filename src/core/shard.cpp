@@ -16,6 +16,8 @@
 #include "core/prime_plan.hpp"
 #include "core/proof_session.hpp"
 #include "core/symbol_stream.hpp"
+#include "apps/ov.hpp"
+#include "count/clique_camelot.hpp"
 #include "count/triangle_camelot.hpp"
 #include "field/crt.hpp"
 #include "graph/generators.hpp"
@@ -382,6 +384,36 @@ std::unique_ptr<CamelotProblem> make_problem_from_spec(
     Graph g = gnm(n, m, seed);
     return std::make_unique<TriangleCountProblem>(g,
                                                   strassen_decomposition());
+  }
+  if (parts.size() == 5 && parts[0] == "clique") {
+    const std::size_t n = std::strtoull(parts[1].c_str(), nullptr, 10);
+    const std::size_t m = std::strtoull(parts[2].c_str(), nullptr, 10);
+    const std::size_t k = std::strtoull(parts[3].c_str(), nullptr, 10);
+    const u64 seed = std::strtoull(parts[4].c_str(), nullptr, 10);
+    if (n == 0 || m == 0) {
+      throw std::invalid_argument("problem spec: clique needs n, m > 0");
+    }
+    if (k == 0 || k % 6 != 0) {
+      throw std::invalid_argument("problem spec: clique needs 6 | k, k > 0");
+    }
+    Graph g = gnm(n, m, seed);
+    return std::make_unique<CliqueCountProblem>(g, k,
+                                                strassen_decomposition());
+  }
+  if (parts.size() == 5 && parts[0] == "ov") {
+    const std::size_t n = std::strtoull(parts[1].c_str(), nullptr, 10);
+    const std::size_t t = std::strtoull(parts[2].c_str(), nullptr, 10);
+    const double density = std::strtod(parts[3].c_str(), nullptr);
+    const u64 seed = std::strtoull(parts[4].c_str(), nullptr, 10);
+    if (n == 0 || t == 0) {
+      throw std::invalid_argument("problem spec: ov needs n, t > 0");
+    }
+    if (!(density >= 0.0) || density > 1.0) {
+      throw std::invalid_argument("problem spec: ov density in [0, 1]");
+    }
+    return std::make_unique<OrthogonalVectorsProblem>(
+        BoolMatrix::random(n, t, density, seed),
+        BoolMatrix::random(n, t, density, seed + 1));
   }
   throw std::invalid_argument("unknown problem spec: " + spec);
 }

@@ -81,8 +81,14 @@ struct ShardJob {
 };
 
 // Builds a problem from its wire spec. Supported specs:
-//   triangle:<n>:<m>:<seed>  — triangle counting on gnm(n, m, seed)
-//                              with the Strassen decomposition.
+//   triangle:<n>:<m>:<seed>       — triangle counting on gnm(n, m, seed)
+//                                   with the Strassen decomposition.
+//   clique:<n>:<m>:<k>:<seed>     — k-clique counting (6 | k) on
+//                                   gnm(n, m, seed), Strassen
+//                                   decomposition.
+//   ov:<n>:<t>:<density>:<seed>   — orthogonal vectors on two random
+//                                   n x t boolean matrices (seeds
+//                                   seed and seed+1).
 // Throws std::invalid_argument on anything else. The returned problem
 // is self-contained (no reference to transient inputs).
 std::unique_ptr<CamelotProblem> make_problem_from_spec(

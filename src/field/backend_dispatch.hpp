@@ -1,0 +1,46 @@
+// One-stop lane dispatch for consumers of a resolved FieldBackend.
+//
+// Templated kernels (multipoint descent, Lagrange, Yates, Gao) pick
+// their arithmetic by instantiating against a field class; consumers
+// holding a FieldOps used to branch on a simd() bool between the
+// scalar and AVX2 classes. With three Montgomery lane sets that
+// two-way ternary no longer covers the space, so they store the
+// resolved FieldBackend and visit through with_lane_field: the
+// visitor is instantiated once per lane class and receives the
+// matching wrapper over the shared Montgomery context.
+//
+// Only the *Montgomery-domain* lane sets are dispatched here.
+// kPrimeDivision carries a different value representation (canonical
+// words, not Montgomery domain), so call sites that support it keep
+// their explicit division branch and consult this helper for the
+// rest — see rs/gao.cpp for the pattern.
+#pragma once
+
+#include <utility>
+
+#include "field/field_ops.hpp"
+#include "field/montgomery_avx512.hpp"
+#include "field/montgomery_simd.hpp"
+
+namespace camelot {
+
+// Invoke fn with the lane wrapper matching `backend` over `m`:
+// MontgomeryAvx512Field, MontgomeryAvx2Field, or the bare scalar
+// context for kMontgomery (and kPrimeDivision, whose callers are
+// expected to have branched already). `backend` must be a *resolved*
+// backend (FieldOps::backend()); this helper does no runtime-support
+// re-checking of its own.
+template <class Fn>
+decltype(auto) with_lane_field(FieldBackend backend, const MontgomeryField& m,
+                               Fn&& fn) {
+  switch (backend) {
+    case FieldBackend::kMontgomeryAvx512:
+      return std::forward<Fn>(fn)(MontgomeryAvx512Field(m));
+    case FieldBackend::kMontgomeryAvx2:
+      return std::forward<Fn>(fn)(MontgomeryAvx2Field(m));
+    default:
+      return std::forward<Fn>(fn)(m);
+  }
+}
+
+}  // namespace camelot

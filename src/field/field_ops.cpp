@@ -20,25 +20,60 @@ bool detect_avx2() noexcept {
 #endif
 }
 
-bool detect_runtime_enabled() noexcept {
-  if (!detect_avx2()) return false;
-  const char* force = std::getenv("CAMELOT_FORCE_SCALAR");
-  if (force != nullptr && force[0] != '\0' &&
-      !(force[0] == '0' && force[1] == '\0')) {
-    return false;
-  }
-  return true;
+bool detect_avx512() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq");
+#else
+  return false;
+#endif
 }
 
-// Downgrades a kMontgomeryAvx2 request when this process cannot honor
-// it (no AVX2 / forced scalar, or q == 2, the identity-domain mode
-// the SIMD kernels do not implement) or when it would not pay: for
-// q >= 2^31 the lane REDC needs 11 vpmuludq per 4 products and
-// roughly ties scalar mulx, while the framework's own CRT primes
-// (chosen just above the code length) always take the 5-vpmuludq
-// narrow path. Resolution happens here, at handle construction, so
-// every consumer can branch on backend() alone.
+bool detect_avx512ifma() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return detect_avx512() && __builtin_cpu_supports("avx512ifma");
+#else
+  return false;
+#endif
+}
+
+// "Set" means non-empty and not exactly "0" — the shared parse for
+// every CAMELOT_FORCE_* override.
+bool env_flag_set(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+bool detect_runtime_enabled() noexcept {
+  if (!detect_avx2()) return false;
+  return !env_flag_set("CAMELOT_FORCE_SCALAR");
+}
+
+bool detect_512_runtime_enabled() noexcept {
+  if (!detect_avx512()) return false;
+  return !env_flag_set("CAMELOT_FORCE_SCALAR") &&
+         !env_flag_set("CAMELOT_FORCE_AVX2");
+}
+
+// The downgrade ladder, applied once at handle construction so every
+// consumer can branch on backend() alone.
+//
+// kMontgomeryAvx512 falls back to kMontgomeryAvx2 when this process
+// cannot run the 8-lane kernels (no AVX-512F/DQ, CAMELOT_FORCE_SCALAR
+// or CAMELOT_FORCE_AVX2 set) or for q == 2 (identity-domain mode).
+// Unlike the AVX2 set it is *kept* for wide primes: the vpmullq REDC
+// and the Shoup-tabled butterflies beat scalar mulx at q >= 2^31.
+//
+// kMontgomeryAvx2 falls back to kMontgomery when it cannot run (no
+// AVX2 / forced scalar, or q == 2) or would not pay: for q >= 2^31
+// the 4-lane REDC needs 11 vpmuludq per 4 products and roughly ties
+// scalar mulx, while the framework's own CRT primes (chosen just
+// above the code length) always take the 5-vpmuludq narrow path.
 FieldBackend resolve(FieldBackend requested, u64 modulus) noexcept {
+  if (requested == FieldBackend::kMontgomeryAvx512 &&
+      (!simd512_runtime_enabled() || modulus == 2)) {
+    requested = FieldBackend::kMontgomeryAvx2;
+  }
   if (requested == FieldBackend::kMontgomeryAvx2 &&
       (!simd_runtime_enabled() || modulus == 2 || (modulus >> 31) != 0)) {
     return FieldBackend::kMontgomery;
@@ -53,12 +88,28 @@ bool cpu_supports_avx2() noexcept {
   return has;
 }
 
+bool cpu_supports_avx512() noexcept {
+  static const bool has = detect_avx512();
+  return has;
+}
+
+bool cpu_supports_avx512ifma() noexcept {
+  static const bool has = detect_avx512ifma();
+  return has;
+}
+
 bool simd_runtime_enabled() noexcept {
   static const bool enabled = detect_runtime_enabled();
   return enabled;
 }
 
+bool simd512_runtime_enabled() noexcept {
+  static const bool enabled = detect_512_runtime_enabled();
+  return enabled;
+}
+
 FieldBackend best_backend() noexcept {
+  if (simd512_runtime_enabled()) return FieldBackend::kMontgomeryAvx512;
   return simd_runtime_enabled() ? FieldBackend::kMontgomeryAvx2
                                 : FieldBackend::kMontgomery;
 }

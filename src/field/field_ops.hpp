@@ -39,6 +39,15 @@ enum class FieldBackend {
   // primes sit far below), the handle silently degrades to
   // kMontgomery, so it is always safe to ask for.
   kMontgomeryAvx2,
+  // Montgomery-domain pipeline on AVX-512 8xu64 lanes
+  // (field/montgomery_avx512.hpp): vpmullq 64-bit products, and on
+  // IFMA hosts a 52-bit vpmadd52 REDC for the planner primes. Unlike
+  // the AVX2 lane set it stays enabled for wide primes (q >= 2^31),
+  // where the 8-lane REDC and the Shoup-tabled NTT beat scalar mulx.
+  // Resolution degrades a request to kMontgomeryAvx2 (and onward to
+  // kMontgomery) when the CPU lacks AVX-512F/DQ, when
+  // CAMELOT_FORCE_SCALAR or CAMELOT_FORCE_AVX2 is set, or for q == 2.
+  kMontgomeryAvx512,
 };
 
 // True iff this process can run the AVX2 kernels: the CPU reports
@@ -47,10 +56,20 @@ enum class FieldBackend {
 // every resolved handle to the scalar pipeline for testing).
 bool simd_runtime_enabled() noexcept;
 
-// Raw CPUID bit, ignoring the environment override.
-bool cpu_supports_avx2() noexcept;
+// True iff this process can run the AVX-512 kernels: the CPU reports
+// AVX-512F and AVX-512DQ, and neither CAMELOT_FORCE_SCALAR nor
+// CAMELOT_FORCE_AVX2 is set (CAMELOT_FORCE_AVX2 pins resolution to
+// the 4-lane kernels for A/B measurement on AVX-512 hosts; same
+// "non-empty and not exactly 0" parse as CAMELOT_FORCE_SCALAR).
+bool simd512_runtime_enabled() noexcept;
 
-// The fastest backend this process can run: kMontgomeryAvx2 when
+// Raw CPUID bits, ignoring the environment overrides.
+bool cpu_supports_avx2() noexcept;
+bool cpu_supports_avx512() noexcept;      // AVX-512F + AVX-512DQ
+bool cpu_supports_avx512ifma() noexcept;  // AVX-512IFMA52
+
+// The fastest backend this process can run: kMontgomeryAvx512 when
+// simd512_runtime_enabled(), then kMontgomeryAvx2 when
 // simd_runtime_enabled(), kMontgomery otherwise.
 FieldBackend best_backend() noexcept;
 
@@ -68,12 +87,16 @@ class FieldOps {
            std::shared_ptr<const NttTables> ntt = nullptr);
 
   u64 modulus() const noexcept { return mont_->modulus(); }
-  // The *resolved* backend: a kMontgomeryAvx2 request comes back as
-  // kMontgomery when the process cannot run the AVX2 kernels.
+  // The *resolved* backend: a SIMD request comes back downgraded
+  // (kMontgomeryAvx512 -> kMontgomeryAvx2 -> kMontgomery) when the
+  // process cannot run — or would not profit from — the wider lanes.
   FieldBackend backend() const noexcept { return backend_; }
-  // True iff the hot kernels should run the AVX2 lane-wide pipeline.
+  // True iff the hot kernels run a lane-wide pipeline (AVX2 or
+  // AVX-512). Consumers that need the exact lane set should branch on
+  // backend() (see field/backend_dispatch.hpp).
   bool simd() const noexcept {
-    return backend_ == FieldBackend::kMontgomeryAvx2;
+    return backend_ == FieldBackend::kMontgomeryAvx2 ||
+           backend_ == FieldBackend::kMontgomeryAvx512;
   }
 
   // The canonical-representative view (always available).

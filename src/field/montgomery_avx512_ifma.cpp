@@ -1,0 +1,237 @@
+// AVX-512IFMA variants of the MontgomeryAvx512Field batch kernels.
+//
+// This is the only translation unit compiled with -mavx512ifma (see
+// CMakeLists.txt): keeping the vpmadd52 kernels out of the main
+// AVX-512 TU guarantees the compiler cannot autovectorize IFMA
+// instructions into code that runs on F/DQ-only hosts. Entry points
+// are reached only through MontgomeryAvx512Field's ifma_ dispatch,
+// which requires cpu_supports_avx512ifma() and 2^21 <= q < 2^31.
+//
+// The multiply here is REDC by 2^64 split as a 52-bit step chased by
+// a 12-bit step (52 + 12 = 64), so it computes exactly the same
+// t*R^{-1} mod q function as the REDC-32 chain and the scalar REDC —
+// bit-identical words out. For t = a*b < 2^62:
+//
+//   tlo = t mod 2^52, thi = t >> 52 (< 2^10)
+//   m1  = tlo * (-q^{-1}) mod 2^52          (vpmadd52luq)
+//   t1  = thi + (tlo != 0) + (m1*q >> 52)   (vpmadd52huq)
+//         -- the low 52 bits of tlo + m1*q cancel to exactly 2^52
+//            whenever tlo (equivalently m1) is non-zero; t1 < 2^32
+//   m2  = t1 * (-q^{-1}) mod 2^12           (vpmuludq + mask)
+//   t2  = (t1 + m2*q) >> 12                 (vpmuludq)
+//
+// t2 < q + 2^20, so one conditional subtract lands canonical —
+// *provided* q > 2^20, which the ifma_ gate enforces. That is 5
+// multiply-class instructions per 8 lanes against 5 for the REDC-32
+// chain, but the two vpmadd52 fold their additions for free and the
+// dependency chain is shorter.
+#include "field/montgomery_avx512.hpp"
+
+#if defined(__AVX512IFMA__) && defined(__AVX512F__) && defined(__AVX512DQ__)
+#include <immintrin.h>
+#endif
+
+#if defined(__GNUC__) && !defined(__clang__)
+// Same -Wmaybe-uninitialized false positive as in
+// montgomery_avx512.cpp: GCC's unmasked AVX-512 intrinsics expand
+// through _mm512_undefined_epi32.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace camelot {
+namespace avx512_ifma {
+
+#if defined(__AVX512IFMA__) && defined(__AVX512F__) && defined(__AVX512DQ__)
+
+namespace {
+
+struct IfmaCtx {
+  __m512i q;
+  __m512i j52;  // -q^{-1} mod 2^52
+  __m512i j12;  // -q^{-1} mod 2^12
+  __m512i mask52;
+  __m512i mask12;
+
+  explicit IfmaCtx(const MontgomeryField& m)
+      : q(_mm512_set1_epi64(static_cast<long long>(m.modulus()))),
+        j52(_mm512_set1_epi64(
+            static_cast<long long>(m.neg_q_inv() & ((u64{1} << 52) - 1)))),
+        j12(_mm512_set1_epi64(
+            static_cast<long long>(m.neg_q_inv() & ((u64{1} << 12) - 1)))),
+        mask52(_mm512_set1_epi64(
+            static_cast<long long>((u64{1} << 52) - 1))),
+        mask12(_mm512_set1_epi64(0xfffLL)) {}
+};
+
+inline __m512i load8(const u64* p) noexcept {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+inline void store8(u64* p, __m512i v) noexcept {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+
+// [0, 2q) -> [0, q).
+inline __m512i reduce_2q(__m512i r, __m512i q) noexcept {
+  return _mm512_mask_sub_epi64(r, _mm512_cmpge_epu64_mask(r, q), r, q);
+}
+
+inline __m512i mod_add(__m512i a, __m512i b, __m512i q) noexcept {
+  return reduce_2q(_mm512_add_epi64(a, b), q);
+}
+
+inline __m512i mod_sub(__m512i a, __m512i b, __m512i q) noexcept {
+  const __m512i d = _mm512_sub_epi64(a, b);
+  return _mm512_mask_add_epi64(d, _mm512_cmplt_epu64_mask(a, b), d, q);
+}
+
+// Montgomery product via the REDC-52 + REDC-12 chain described in
+// the header comment. a, b in [0, q), 2^21 <= q < 2^31.
+inline __m512i mont_mul(__m512i a, __m512i b, const IfmaCtx& c) noexcept {
+  const __m512i t = _mm512_mul_epu32(a, b);  // a, b < q < 2^31
+  const __m512i tlo = _mm512_and_si512(t, c.mask52);
+  __m512i t1 = _mm512_srli_epi64(t, 52);
+  // carry out of the cancelled low 52 bits: 1 iff tlo != 0.
+  t1 = _mm512_mask_add_epi64(
+      t1, _mm512_cmpneq_epi64_mask(tlo, _mm512_setzero_si512()), t1,
+      _mm512_set1_epi64(1));
+  const __m512i m1 =
+      _mm512_madd52lo_epu64(_mm512_setzero_si512(), tlo, c.j52);
+  t1 = _mm512_madd52hi_epu64(t1, m1, c.q);  // t1 < 2^32
+  const __m512i m2 =
+      _mm512_and_si512(_mm512_mul_epu32(t1, c.j12), c.mask12);
+  const __m512i t2 = _mm512_srli_epi64(
+      _mm512_add_epi64(t1, _mm512_mul_epu32(m2, c.q)), 12);
+  return reduce_2q(t2, c.q);  // t2 < q + 2^20 < 2q
+}
+
+}  // namespace
+
+void mul_vec(const MontgomeryField& m, const u64* a, const u64* b, u64* out,
+             std::size_t n) noexcept {
+  const IfmaCtx c(m);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store8(out + i, mont_mul(load8(a + i), load8(b + i), c));
+  }
+  for (; i < n; ++i) out[i] = m.mul(a[i], b[i]);
+}
+
+void scale_vec(const MontgomeryField& m, const u64* a, u64 s, u64* out,
+               std::size_t n) noexcept {
+  const IfmaCtx c(m);
+  const __m512i vs = _mm512_set1_epi64(static_cast<long long>(s));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store8(out + i, mont_mul(load8(a + i), vs, c));
+  }
+  for (; i < n; ++i) out[i] = m.mul(a[i], s);
+}
+
+void addmul_inplace(const MontgomeryField& m, u64* r, u64 s, const u64* b,
+                    std::size_t n) noexcept {
+  const IfmaCtx c(m);
+  const __m512i vs = _mm512_set1_epi64(static_cast<long long>(s));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i p = mont_mul(vs, load8(b + i), c);
+    store8(r + i, mod_add(load8(r + i), p, c.q));
+  }
+  for (; i < n; ++i) r[i] = m.add(r[i], m.mul(s, b[i]));
+}
+
+void submul_inplace(const MontgomeryField& m, u64* r, u64 s, const u64* b,
+                    std::size_t n) noexcept {
+  const IfmaCtx c(m);
+  const __m512i vs = _mm512_set1_epi64(static_cast<long long>(s));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i p = mont_mul(vs, load8(b + i), c);
+    store8(r + i, mod_sub(load8(r + i), p, c.q));
+  }
+  for (; i < n; ++i) r[i] = m.sub(r[i], m.mul(s, b[i]));
+}
+
+u64 dot(const MontgomeryField& m, const u64* a, const u64* b,
+        std::size_t n) noexcept {
+  const IfmaCtx c(m);
+  __m512i vacc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vacc = mod_add(vacc, mont_mul(load8(a + i), load8(b + i), c), c.q);
+  }
+  alignas(64) u64 lanes[8];
+  _mm512_store_si512(reinterpret_cast<void*>(lanes), vacc);
+  u64 acc = m.add(m.add(m.add(lanes[0], lanes[1]), m.add(lanes[2], lanes[3])),
+                  m.add(m.add(lanes[4], lanes[5]), m.add(lanes[6], lanes[7])));
+  for (; i < n; ++i) acc = m.add(acc, m.mul(a[i], b[i]));
+  return acc;
+}
+
+void ntt_stage(const MontgomeryField& m, u64* a, std::size_t n,
+               std::size_t len, const u64* tw) noexcept {
+  const IfmaCtx c(m);
+  const std::size_t half = len / 2;
+  // Callers guarantee half >= 8 (MontgomeryAvx512Field::ntt_stage
+  // takes its scalar fallback below that), so no j-tail.
+  for (std::size_t i = 0; i < n; i += len) {
+    u64* lo = a + i;
+    u64* hi = a + i + half;
+    for (std::size_t j = 0; j < half; j += 8) {
+      const __m512i u = load8(lo + j);
+      const __m512i v = mont_mul(load8(hi + j), load8(tw + j), c);
+      store8(lo + j, mod_add(u, v, c.q));
+      store8(hi + j, mod_sub(u, v, c.q));
+    }
+  }
+}
+
+#else  // no AVX-512IFMA at compile time
+
+// Scalar fallbacks keep the link whole on targets built without the
+// extension; the ifma_ runtime gate never routes here on such hosts.
+
+void mul_vec(const MontgomeryField& m, const u64* a, const u64* b, u64* out,
+             std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = m.mul(a[i], b[i]);
+}
+
+void scale_vec(const MontgomeryField& m, const u64* a, u64 s, u64* out,
+               std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = m.mul(a[i], s);
+}
+
+void addmul_inplace(const MontgomeryField& m, u64* r, u64 s, const u64* b,
+                    std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) r[i] = m.add(r[i], m.mul(s, b[i]));
+}
+
+void submul_inplace(const MontgomeryField& m, u64* r, u64 s, const u64* b,
+                    std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) r[i] = m.sub(r[i], m.mul(s, b[i]));
+}
+
+u64 dot(const MontgomeryField& m, const u64* a, const u64* b,
+        std::size_t n) noexcept {
+  u64 acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc = m.add(acc, m.mul(a[i], b[i]));
+  return acc;
+}
+
+void ntt_stage(const MontgomeryField& m, u64* a, std::size_t n,
+               std::size_t len, const u64* tw) noexcept {
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < n; i += len) {
+    for (std::size_t j = 0; j < half; ++j) {
+      const u64 u = a[i + j];
+      const u64 v = m.mul(a[i + j + half], tw[j]);
+      a[i + j] = m.add(u, v);
+      a[i + j + half] = m.sub(u, v);
+    }
+  }
+}
+
+#endif  // defined(__AVX512IFMA__)
+
+}  // namespace avx512_ifma
+}  // namespace camelot

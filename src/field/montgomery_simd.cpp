@@ -26,6 +26,8 @@
 //    below 2^63, so signed vpcmpgtq implements unsigned compares.
 #include "field/montgomery_simd.hpp"
 
+#include "field/shoup.hpp"
+
 #if defined(__AVX2__)
 #include <immintrin.h>
 #endif
@@ -127,6 +129,34 @@ inline __m256i mont_mul(__m256i a, __m256i b, const MontCtx& c) noexcept {
   }
 }
 
+// Shoup product a * w mod q for canonical twiddle w with quotient
+// wq = floor(w * 2^64 / q) (field/shoup.hpp). The narrow variant
+// exploits a < q < 2^31: the operand fits one 32-bit word, so
+// hi = floor(a * wq / 2^64) needs just two vpmuludq partials
+// (a * lo32(wq) and a * hi32(wq)), hi < a < 2^31 makes hi*q a single
+// exact vpmuludq, and a*w is a single exact vpmuludq — 4 multiplies
+// per 4 lanes against 5 for the REDC-32 chain. The wide variant
+// assembles hi from a full 128-bit product and the two low products
+// with mul_lo: 10 multiplies against 11 for wide REDC.
+template <bool kNarrow>
+inline __m256i shoup_mul4(__m256i a, __m256i w, __m256i wq,
+                          __m256i q) noexcept {
+  if constexpr (kNarrow) {
+    const __m256i p0 = _mm256_mul_epu32(a, wq);
+    const __m256i p1 = _mm256_mul_epu32(a, _mm256_srli_epi64(wq, 32));
+    // p1 + (p0 >> 32) < 2^64: p1 <= (2^31-1)(2^32-1), p0 >> 32 < 2^31.
+    const __m256i hi = _mm256_srli_epi64(
+        _mm256_add_epi64(p1, _mm256_srli_epi64(p0, 32)), 32);
+    const __m256i r = _mm256_sub_epi64(_mm256_mul_epu32(a, w),
+                                       _mm256_mul_epu32(hi, q));
+    return reduce_2q(r, q);
+  } else {
+    const __m256i hi = mul_full(a, wq).hi;
+    const __m256i r = _mm256_sub_epi64(mul_lo(a, w), mul_lo(hi, q));
+    return reduce_2q(r, q);
+  }
+}
+
 inline __m256i mod_add(__m256i a, __m256i b, __m256i q) noexcept {
   return reduce_2q(_mm256_add_epi64(a, b), q);
 }
@@ -217,6 +247,26 @@ void ntt_stage_impl(const MontgomeryField& m, u64* a, std::size_t n,
       const __m256i v = mont_mul<kNarrow>(load4(hi + j), load4(tw + j), c);
       store4(lo + j, mod_add(u, v, c.q));
       store4(hi + j, mod_sub(u, v, c.q));
+    }
+  }
+}
+
+template <bool kNarrow>
+void ntt_stage_shoup_impl(const MontgomeryField& m, u64* a, std::size_t n,
+                          std::size_t len, const u64* op,
+                          const u64* qt) noexcept {
+  const __m256i q = _mm256_set1_epi64x(static_cast<long long>(m.modulus()));
+  const std::size_t half = len / 2;
+  // half >= 4 and a power of two, so the j-loop needs no tail.
+  for (std::size_t i = 0; i < n; i += len) {
+    u64* lo = a + i;
+    u64* hi = a + i + half;
+    for (std::size_t j = 0; j < half; j += 4) {
+      const __m256i u = load4(lo + j);
+      const __m256i v =
+          shoup_mul4<kNarrow>(load4(hi + j), load4(op + j), load4(qt + j), q);
+      store4(lo + j, mod_add(u, v, q));
+      store4(hi + j, mod_sub(u, v, q));
     }
   }
 }
@@ -335,6 +385,30 @@ void MontgomeryAvx2Field::ntt_stage(u64* a, std::size_t n, std::size_t len,
   }
 }
 
+void MontgomeryAvx2Field::ntt_stage_shoup(u64* a, std::size_t n,
+                                          std::size_t len, const u64* op,
+                                          const u64* qt) const noexcept {
+  const MontgomeryField m = m_;
+  const std::size_t half = len / 2;
+  const u64 q = m.modulus();
+  if (m.trivial() || half < 4) {
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const u64 u = a[i + j];
+        const u64 v = shoup_mul(a[i + j + half], op[j], qt[j], q);
+        a[i + j] = m.add(u, v);
+        a[i + j + half] = m.sub(u, v);
+      }
+    }
+    return;
+  }
+  if (narrow_) {
+    ntt_stage_shoup_impl<true>(m, a, n, len, op, qt);
+  } else {
+    ntt_stage_shoup_impl<false>(m, a, n, len, op, qt);
+  }
+}
+
 #else  // !defined(__AVX2__)
 
 // Portable fallbacks: on targets where this TU is not built with
@@ -395,6 +469,22 @@ void MontgomeryAvx2Field::ntt_stage(u64* a, std::size_t n, std::size_t len,
     for (std::size_t j = 0; j < half; ++j) {
       const u64 u = a[i + j];
       const u64 v = m.mul(a[i + j + half], tw[j]);
+      a[i + j] = m.add(u, v);
+      a[i + j + half] = m.sub(u, v);
+    }
+  }
+}
+
+void MontgomeryAvx2Field::ntt_stage_shoup(u64* a, std::size_t n,
+                                          std::size_t len, const u64* op,
+                                          const u64* qt) const noexcept {
+  const MontgomeryField m = m_;
+  const std::size_t half = len / 2;
+  const u64 q = m.modulus();
+  for (std::size_t i = 0; i < n; i += len) {
+    for (std::size_t j = 0; j < half; ++j) {
+      const u64 u = a[i + j];
+      const u64 v = shoup_mul(a[i + j + half], op[j], qt[j], q);
       a[i + j] = m.add(u, v);
       a[i + j + half] = m.sub(u, v);
     }

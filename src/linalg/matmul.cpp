@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
+
+#include "field/shoup.hpp"
 
 namespace camelot {
 
@@ -31,15 +34,33 @@ Matrix classical_small_modulus(const Matrix& a, const Matrix& b,
   return out;
 }
 
+// q >= 2^32: the per-term u128 % q division of the naive kernel is
+// the bottleneck, so precompute a Shoup quotient for every B entry
+// once (one division each) and run the O(n*m*l) inner loop on
+// division-free Shoup products. B is transposed on the fly so the
+// inner loop walks both operand arrays contiguously. Exact mod-q
+// arithmetic: the output words match the division kernel bit for bit.
 Matrix classical_large_modulus(const Matrix& a, const Matrix& b,
                                const PrimeField& f) {
   Matrix out(a.rows(), b.cols());
   const std::size_t n = a.rows(), m = a.cols(), l = b.cols();
+  const u64 q = f.modulus();
+  // bt[j*m + t] = B[t][j] (canonical), bq its Shoup quotient.
+  std::vector<u64> bt(l * m), bq(l * m);
+  for (std::size_t t = 0; t < m; ++t) {
+    for (std::size_t j = 0; j < l; ++j) {
+      const u64 w = f.reduce(b.at(t, j));
+      bt[j * m + t] = w;
+      bq[j * m + t] = shoup_quotient(w, q);
+    }
+  }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < l; ++j) {
+      const u64* bt_col = bt.data() + j * m;
+      const u64* bq_col = bq.data() + j * m;
       u64 acc = 0;
       for (std::size_t t = 0; t < m; ++t) {
-        acc = f.add(acc, f.mul(a.at(i, t), b.at(t, j)));
+        acc = f.add(acc, shoup_mul(a.at(i, t), bt_col[t], bq_col[t], q));
       }
       out.at(i, j) = acc;
     }

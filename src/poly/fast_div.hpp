@@ -462,6 +462,7 @@ void poly_xgcd_partial_fast(const Poly& a, const Poly& b, int stop_degree,
 CAMELOT_FASTDIV_EXTERN(PrimeField)
 CAMELOT_FASTDIV_EXTERN(MontgomeryField)
 CAMELOT_FASTDIV_EXTERN(MontgomeryAvx2Field)
+CAMELOT_FASTDIV_EXTERN(MontgomeryAvx512Field)
 #undef CAMELOT_FASTDIV_EXTERN
 
 }  // namespace camelot

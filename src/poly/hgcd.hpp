@@ -350,6 +350,7 @@ void poly_xgcd_partial_hgcd(const Poly& a, const Poly& b, int stop_degree,
 CAMELOT_HGCD_EXTERN(PrimeField)
 CAMELOT_HGCD_EXTERN(MontgomeryField)
 CAMELOT_HGCD_EXTERN(MontgomeryAvx2Field)
+CAMELOT_HGCD_EXTERN(MontgomeryAvx512Field)
 #undef CAMELOT_HGCD_EXTERN
 
 }  // namespace camelot

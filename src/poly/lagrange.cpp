@@ -1,7 +1,9 @@
 #include "poly/lagrange.hpp"
 
 #include <stdexcept>
+#include <type_traits>
 
+#include "field/backend_dispatch.hpp"
 #include "field/montgomery_simd.hpp"
 
 namespace camelot {
@@ -11,12 +13,12 @@ ConsecutiveLagrange::ConsecutiveLagrange(u64 start, std::size_t count,
     : m_(f.mont()),
       start_(f.prime().reduce(start)),
       count_(count),
-      simd_(f.simd()) {
+      backend_(f.backend()) {
   if (count == 0) throw std::invalid_argument("lagrange_basis: empty");
   if (count >= f.modulus()) {
     throw std::invalid_argument("lagrange_basis: more nodes than field");
   }
-  if (simd_) {
+  if (lanes()) {
     nodes_mont_.resize(count);
     u64 node = m_.to_mont(start_);
     for (std::size_t i = 0; i < count; ++i) {
@@ -32,23 +34,25 @@ ConsecutiveLagrange::ConsecutiveLagrange(u64 start, std::size_t count,
     i_m = m_.add(i_m, m_.one());  // Montgomery form of i
     fact[i] = m_.mul(fact[i - 1], i_m);
   }
-  // Point-independent denominator parts, inverted once. Under the
-  // AVX2 backend the factorial cross products run on lanes (same
-  // words — lane REDC is bit-identical to scalar); the alternating
-  // sign stays a scalar pass either way.
+  // Point-independent denominator parts, inverted once. Under a SIMD
+  // backend the factorial cross products run on lanes (same words —
+  // lane REDC is bit-identical to scalar); the alternating sign stays
+  // a scalar pass either way.
   std::vector<u64> w(count);
-  if (simd_) {
-    std::vector<u64> rev_fact(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      rev_fact[i] = fact[count - 1 - i];
+  with_lane_field(backend_, m_, [&](const auto& lf) {
+    using F = std::decay_t<decltype(lf)>;
+    if constexpr (FieldHasBatchKernels<F>) {
+      std::vector<u64> rev_fact(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        rev_fact[i] = fact[count - 1 - i];
+      }
+      lf.mul_vec(fact.data(), rev_fact.data(), w.data(), count);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        w[i] = m_.mul(fact[i], fact[count - 1 - i]);
+      }
     }
-    MontgomeryAvx2Field(m_).mul_vec(fact.data(), rev_fact.data(), w.data(),
-                                    count);
-  } else {
-    for (std::size_t i = 0; i < count; ++i) {
-      w[i] = m_.mul(fact[i], fact[count - 1 - i]);
-    }
-  }
+  });
   for (std::size_t i = 0; i < count; ++i) {
     if ((count - 1 - i) % 2 == 1) w[i] = m_.neg(w[i]);
   }
@@ -64,31 +68,37 @@ ScratchVec ConsecutiveLagrange::basis_mont_scratch(u64 x0) const {
   // diff[i] = x0 - node_i in the Montgomery domain; detect x0 hitting
   // a node (zero is zero in either domain).
   ScratchVec diff(count_);
-  if (simd_) {
-    const MontgomeryAvx2Field fs(m);
-    fs.sub_from_scalar(x0_m, nodes_mont_.data(), diff.data(), count_);
-    for (std::size_t i = 0; i < count_; ++i) {
-      if (diff[i] == 0) {
-        out[i] = m.one();
-        return out;  // basis collapses to an indicator
+  if (lanes()) {
+    return with_lane_field(backend_, m, [&](const auto& lf) -> ScratchVec {
+      using F = std::decay_t<decltype(lf)>;
+      if constexpr (FieldHasBatchKernels<F>) {
+        lf.sub_from_scalar(x0_m, nodes_mont_.data(), diff.data(), count_);
       }
-    }
-    // The prefix/suffix sweeps are loop-carried product chains and
-    // stay scalar; the final per-node basis products run on lanes.
-    ScratchVec suffix(count_), prefix(count_);
-    u64 acc = m.one();
-    for (std::size_t i = count_; i-- > 0;) {
-      suffix[i] = acc;
-      acc = m.mul(acc, diff[i]);
-    }
-    acc = m.one();
-    for (std::size_t i = 0; i < count_; ++i) {
-      prefix[i] = acc;
-      acc = m.mul(acc, diff[i]);
-    }
-    fs.mul_vec(prefix.data(), suffix.data(), out.data(), count_);
-    fs.mul_vec(out.data(), inv_w_.data(), out.data(), count_);
-    return out;
+      for (std::size_t i = 0; i < count_; ++i) {
+        if (diff[i] == 0) {
+          out[i] = m.one();
+          return std::move(out);  // basis collapses to an indicator
+        }
+      }
+      // The prefix/suffix sweeps are loop-carried product chains and
+      // stay scalar; the final per-node basis products run on lanes.
+      ScratchVec suffix(count_), prefix(count_);
+      u64 acc = m.one();
+      for (std::size_t i = count_; i-- > 0;) {
+        suffix[i] = acc;
+        acc = m.mul(acc, diff[i]);
+      }
+      acc = m.one();
+      for (std::size_t i = 0; i < count_; ++i) {
+        prefix[i] = acc;
+        acc = m.mul(acc, diff[i]);
+      }
+      if constexpr (FieldHasBatchKernels<F>) {
+        lf.mul_vec(prefix.data(), suffix.data(), out.data(), count_);
+        lf.mul_vec(out.data(), inv_w_.data(), out.data(), count_);
+      }
+      return std::move(out);
+    });
   }
   u64 node = m.to_mont(start_);
   for (std::size_t i = 0; i < count_; ++i) {
@@ -139,12 +149,19 @@ u64 ConsecutiveLagrange::eval(std::span<const u64> values, u64 x0) const {
   // mont_mul(bR, v) = b*v with no conversion: the Montgomery factor of
   // the basis cancels against the reduction, so plain values in, plain
   // accumulator out.
-  if (simd_) {
+  if (lanes()) {
     ScratchVec reduced(count_);
     for (std::size_t i = 0; i < count_; ++i) reduced[i] = m_.reduce(values[i]);
     // Mod-q addition is exact, so the lane-reassociated dot matches
     // the sequential fold bit-for-bit.
-    return MontgomeryAvx2Field(m_).dot(basis.data(), reduced.data(), count_);
+    return with_lane_field(backend_, m_, [&](const auto& lf) -> u64 {
+      using F = std::decay_t<decltype(lf)>;
+      if constexpr (FieldHasBatchKernels<F>) {
+        return lf.dot(basis.data(), reduced.data(), count_);
+      } else {
+        return 0;  // unreachable: lanes() implies a SIMD backend
+      }
+    });
   }
   u64 acc = 0;
   for (std::size_t i = 0; i < count_; ++i) {

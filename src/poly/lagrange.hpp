@@ -60,13 +60,18 @@ class ConsecutiveLagrange {
   MontgomeryField m_;
   u64 start_;        // canonical representative of the first node
   std::size_t count_;
-  bool simd_;        // resolved AVX2 backend selected
+  FieldBackend backend_;  // resolved lane backend at build time
+  // True when backend_ names a lane-wide (AVX2 or AVX-512) pipeline.
+  bool lanes() const noexcept {
+    return backend_ == FieldBackend::kMontgomeryAvx2 ||
+           backend_ == FieldBackend::kMontgomeryAvx512;
+  }
   // Montgomery-domain inverses of the point-independent denominator
   // parts (-1)^{count-1-i} * i! * (count-1-i)!.
   std::vector<u64> inv_w_;
   // Montgomery form of the nodes start..start+count-1, precomputed
-  // when the AVX2 backend is selected so basis_mont can take the node
-  // differences and the final basis products on 4xu64 lanes.
+  // when a SIMD backend is selected so basis_mont can take the node
+  // differences and the final basis products on u64 lanes.
   std::vector<u64> nodes_mont_;
 };
 

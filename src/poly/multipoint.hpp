@@ -10,8 +10,9 @@
 // PrimeField-facing methods convert once per call at the boundary;
 // the *_mont methods expose the domain directly so a longer pipeline
 // (e.g. the Gao decoder) never leaves it. When the backend handle
-// names the AVX2 backend, the node products and the descent's
-// remainder eliminations run on 4xu64 lanes (bit-identical values).
+// names a SIMD backend (AVX2 or AVX-512), the node products and the
+// descent's remainder eliminations run on the matching u64 lane set
+// (bit-identical values).
 //
 // Since the quasi-linear engine landed (poly/fast_div.hpp), the build
 // also precomputes a Newton power-series inverse of every large
@@ -19,7 +20,7 @@
 // the interpolation's denominator pass) then replaces the schoolbook
 // elimination with two truncated products per node — true
 // O(d log^2 d) — above the fastdiv_crossover() divisor degree, and
-// keeps the AVX2 schoolbook rows below it where constants win. The
+// keeps the lane-wide schoolbook rows below it where constants win. The
 // inverses are per-(prime, point-set) state that lives *in* the tree,
 // so a CodeCache/FieldCache-shared tree amortizes them across every
 // session and job that decodes against the same code.
@@ -110,7 +111,7 @@ class SubproductTree {
   std::vector<u64> points_;       // canonical representatives
   MontgomeryField mont_;
   std::shared_ptr<const NttTables> ntt_;
-  bool simd_;                     // resolved AVX2 backend selected
+  FieldBackend backend_;          // resolved lane backend at build time
   std::size_t crossover_;         // fastdiv_crossover() at build time
   std::size_t fast_nodes_ = 0;
   Poly root_plain_;

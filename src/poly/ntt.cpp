@@ -1,10 +1,36 @@
 #include "poly/ntt.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 #include <type_traits>
 
+#include "field/shoup.hpp"
+
 namespace camelot {
+
+namespace {
+
+bool detect_shoup_enabled() noexcept {
+  const char* v = std::getenv("CAMELOT_SHOUP");
+  if (v == nullptr) return true;
+  const std::string_view s(v);
+  return !(s == "off" || s == "0");
+}
+
+std::atomic<bool> g_shoup_enabled{detect_shoup_enabled()};
+
+}  // namespace
+
+bool ntt_shoup_enabled() noexcept {
+  return g_shoup_enabled.load(std::memory_order_relaxed);
+}
+
+void set_ntt_shoup_enabled(bool enabled) noexcept {
+  g_shoup_enabled.store(enabled, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -42,11 +68,14 @@ void check_size_and_bit_reverse(Vec& a, int max_log2) {
   }
 }
 
-// Radix-2 kernel over either Montgomery backend (tables == nullptr
-// powers each stage's twiddles on the fly). The AVX2 backend routes
-// the butterflies and the final 1/n scaling through its lane-wide
-// kernels; the multiplication sequence — and hence every output
-// word — is identical either way.
+// Radix-2 kernel over any Montgomery backend (tables == nullptr
+// powers each stage's twiddles on the fly). The lane backends route
+// the butterflies and the final 1/n scaling through their lane-wide
+// kernels; tabled transforms additionally take the Shoup-quotient
+// butterfly (canonical twiddle + precomputed quotient, no REDC)
+// unless CAMELOT_SHOUP disables it. Every combination computes the
+// identical multiplication sequence mod q — and hence every output
+// word — so backends and butterfly flavors can be mixed freely.
 template <class Field, class Vec>
 void ntt_kernel(Vec& a, bool inverse, const Field& fref,
                 const NttTables* tables) {
@@ -69,10 +98,34 @@ void ntt_kernel(Vec& a, bool inverse, const Field& fref,
     check_size_and_bit_reverse(a, f.two_adicity());
   }
   const int lg = log2_exact(n);
+  const bool shoup =
+      tables != nullptr && tables->has_shoup() && ntt_shoup_enabled();
   ScratchVec scratch;  // untabled twiddle chain, freed at stage end
   for (int k = 1; k <= lg; ++k) {
     const std::size_t len = std::size_t{1} << k;
     const std::size_t half = len / 2;
+    if (shoup) {
+      const std::span<const u64> op = inverse
+                                          ? tables->stage_inverse_shoup_op(k)
+                                          : tables->stage_forward_shoup_op(k);
+      const std::span<const u64> qt = inverse
+                                          ? tables->stage_inverse_shoup_qt(k)
+                                          : tables->stage_forward_shoup_qt(k);
+      if constexpr (FieldHasBatchKernels<Field>) {
+        f.ntt_stage_shoup(a.data(), n, len, op.data(), qt.data());
+      } else {
+        const u64 q = f.modulus();
+        for (std::size_t i = 0; i < n; i += len) {
+          for (std::size_t j = 0; j < half; ++j) {
+            const u64 u = a[i + j];
+            const u64 v = shoup_mul(a[i + j + half], op[j], qt[j], q);
+            a[i + j] = f.add(u, v);
+            a[i + j + half] = f.sub(u, v);
+          }
+        }
+      }
+      continue;
+    }
     std::span<const u64> tw;
     if (tables != nullptr) {
       tw = inverse ? tables->stage_inverse(k) : tables->stage_forward(k);
@@ -222,6 +275,22 @@ NttTables::NttTables(const MontgomeryField& m, std::size_t max_size)
       dst_i[j] = src_i[2 * j];
     }
   }
+  // Shoup twins: canonical twiddle + floor(w*2^64/q) per entry, same
+  // layout. Skipped in identity-domain mode (q == 2), where Shoup's
+  // w < q < 2^63 precondition holds but there is nothing to win and
+  // the REDC path is already multiplication-free.
+  if (m.trivial()) return;
+  const std::size_t entries = capacity_ - 1;
+  fwd_op_.resize(entries);
+  fwd_qt_.resize(entries);
+  inv_op_.resize(entries);
+  inv_qt_.resize(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    fwd_op_[i] = m.from_mont(fwd_[i]);
+    fwd_qt_[i] = shoup_quotient(fwd_op_[i], q_);
+    inv_op_[i] = m.from_mont(inv_[i]);
+    inv_qt_[i] = shoup_quotient(inv_op_[i], q_);
+  }
 }
 
 bool ntt_supports_size(const PrimeField& f, std::size_t result_size) {
@@ -234,6 +303,11 @@ bool ntt_supports_size(const MontgomeryField& f, std::size_t result_size) {
 }
 
 bool ntt_supports_size(const MontgomeryAvx2Field& f,
+                       std::size_t result_size) {
+  return ntt_supports_size(f.base(), result_size);
+}
+
+bool ntt_supports_size(const MontgomeryAvx512Field& f,
                        std::size_t result_size) {
   return ntt_supports_size(f.base(), result_size);
 }
@@ -273,6 +347,16 @@ void ntt_inplace(std::vector<u64>& a, bool inverse,
   ntt_kernel(a, inverse, f, &tables);
 }
 
+void ntt_inplace(std::vector<u64>& a, bool inverse,
+                 const MontgomeryAvx512Field& f) {
+  ntt_kernel(a, inverse, f, nullptr);
+}
+
+void ntt_inplace(std::vector<u64>& a, bool inverse,
+                 const MontgomeryAvx512Field& f, const NttTables& tables) {
+  ntt_kernel(a, inverse, f, &tables);
+}
+
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const PrimeField& f) {
   if (a.empty() || b.empty()) return {};
@@ -296,6 +380,12 @@ std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
 }
 
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryAvx512Field& f) {
+  if (a.empty() || b.empty()) return {};
+  return convolve_kernel<std::vector<u64>>(a, b, f, nullptr);
+}
+
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const MontgomeryField& f,
                               const NttTables& tables) {
   if (a.empty() || b.empty()) return {};
@@ -304,6 +394,13 @@ std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
 
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const MontgomeryAvx2Field& f,
+                              const NttTables& tables) {
+  if (a.empty() || b.empty()) return {};
+  return convolve_kernel<std::vector<u64>>(a, b, f, &tables);
+}
+
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryAvx512Field& f,
                               const NttTables& tables) {
   if (a.empty() || b.empty()) return {};
   return convolve_kernel<std::vector<u64>>(a, b, f, &tables);
@@ -318,6 +415,13 @@ ScratchVec ntt_convolve_scratch(std::span<const u64> a, std::span<const u64> b,
 
 ScratchVec ntt_convolve_scratch(std::span<const u64> a, std::span<const u64> b,
                                 const MontgomeryAvx2Field& f,
+                                const NttTables* tables) {
+  if (a.empty() || b.empty()) return {};
+  return convolve_kernel<ScratchVec>(a, b, f, tables);
+}
+
+ScratchVec ntt_convolve_scratch(std::span<const u64> a, std::span<const u64> b,
+                                const MontgomeryAvx512Field& f,
                                 const NttTables* tables) {
   if (a.empty() || b.empty()) return {};
   return convolve_kernel<ScratchVec>(a, b, f, tables);
@@ -347,6 +451,12 @@ std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
 
 std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
                                      std::span<const u64> b, std::size_t n,
+                                     const MontgomeryAvx512Field& f) {
+  return cyclic_kernel<std::vector<u64>>(a, b, n, f, nullptr);
+}
+
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
                                      const MontgomeryField& f,
                                      const NttTables& tables) {
   return cyclic_kernel<std::vector<u64>>(a, b, n, f, &tables);
@@ -355,6 +465,13 @@ std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
 std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
                                      std::span<const u64> b, std::size_t n,
                                      const MontgomeryAvx2Field& f,
+                                     const NttTables& tables) {
+  return cyclic_kernel<std::vector<u64>>(a, b, n, f, &tables);
+}
+
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const MontgomeryAvx512Field& f,
                                      const NttTables& tables) {
   return cyclic_kernel<std::vector<u64>>(a, b, n, f, &tables);
 }
@@ -381,6 +498,13 @@ ScratchVec ntt_convolve_cyclic_scratch(std::span<const u64> a,
 ScratchVec ntt_convolve_cyclic_scratch(std::span<const u64> a,
                                        std::span<const u64> b, std::size_t n,
                                        const MontgomeryAvx2Field& f,
+                                       const NttTables* tables) {
+  return cyclic_kernel<ScratchVec>(a, b, n, f, tables);
+}
+
+ScratchVec ntt_convolve_cyclic_scratch(std::span<const u64> a,
+                                       std::span<const u64> b, std::size_t n,
+                                       const MontgomeryAvx512Field& f,
                                        const NttTables* tables) {
   return cyclic_kernel<ScratchVec>(a, b, n, f, tables);
 }

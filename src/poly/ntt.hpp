@@ -17,6 +17,7 @@
 #include "core/arena.hpp"
 #include "field/field.hpp"
 #include "field/montgomery.hpp"
+#include "field/montgomery_avx512.hpp"
 #include "field/montgomery_simd.hpp"
 
 namespace camelot {
@@ -26,6 +27,16 @@ namespace camelot {
 bool ntt_supports_size(const PrimeField& f, std::size_t result_size);
 bool ntt_supports_size(const MontgomeryField& f, std::size_t result_size);
 bool ntt_supports_size(const MontgomeryAvx2Field& f, std::size_t result_size);
+bool ntt_supports_size(const MontgomeryAvx512Field& f,
+                       std::size_t result_size);
+
+// Process-wide switch for the Shoup-quotient butterfly path (both
+// are bit-identical; the switch exists for A/B measurement and as an
+// escape hatch). Initialized from CAMELOT_SHOUP — default on, set it
+// to "off" or "0" to pin every tabled transform to the REDC
+// butterflies — and flippable in-process for benchmarks.
+bool ntt_shoup_enabled() noexcept;
+void set_ntt_shoup_enabled(bool enabled) noexcept;
 
 // Precomputed twiddle tables for the Montgomery-domain butterfly
 // kernel. The plain kernel powers the stage root serially
@@ -60,12 +71,38 @@ class NttTables {
   // 1/2^k in the Montgomery domain, k <= log2(capacity()).
   u64 n_inv(int k) const noexcept { return n_inv_[static_cast<size_t>(k)]; }
 
+  // Shoup twin of the tables above: per stage, the *canonical*
+  // twiddle (shoup_op) and its precomputed quotient floor(w*2^64/q)
+  // (shoup_qt; see field/shoup.hpp). The butterfly product of a
+  // Montgomery-domain value with them lands on the same word as the
+  // REDC product with the Montgomery twiddle, one mulhi + one mullo
+  // cheaper. Built for every non-trivial modulus (q > 2).
+  bool has_shoup() const noexcept { return !fwd_op_.empty(); }
+  std::span<const u64> stage_forward_shoup_op(int k) const noexcept {
+    const std::size_t half = std::size_t{1} << (k - 1);
+    return {fwd_op_.data() + (half - 1), half};
+  }
+  std::span<const u64> stage_forward_shoup_qt(int k) const noexcept {
+    const std::size_t half = std::size_t{1} << (k - 1);
+    return {fwd_qt_.data() + (half - 1), half};
+  }
+  std::span<const u64> stage_inverse_shoup_op(int k) const noexcept {
+    const std::size_t half = std::size_t{1} << (k - 1);
+    return {inv_op_.data() + (half - 1), half};
+  }
+  std::span<const u64> stage_inverse_shoup_qt(int k) const noexcept {
+    const std::size_t half = std::size_t{1} << (k - 1);
+    return {inv_qt_.data() + (half - 1), half};
+  }
+
  private:
   u64 q_ = 0;
   std::size_t capacity_ = 1;
   // Per-stage tables, concatenated: stage k occupies
   // [2^(k-1) - 1, 2^k - 1). Total size capacity() - 1.
   std::vector<u64> fwd_, inv_, n_inv_;
+  // Shoup twins, same layout (empty when q == 2).
+  std::vector<u64> fwd_op_, fwd_qt_, inv_op_, inv_qt_;
 };
 
 // In-place radix-2 NTT of a power-of-two-sized vector of canonical
@@ -82,13 +119,17 @@ void ntt_inplace(std::vector<u64>& a, bool inverse, const MontgomeryField& f);
 void ntt_inplace(std::vector<u64>& a, bool inverse, const MontgomeryField& f,
                  const NttTables& tables);
 
-// AVX2 lane-wide butterfly kernels (bit-identical to the scalar
+// Lane-wide butterfly kernels (bit-identical to the scalar
 // MontgomeryField overloads; callers reach these through FieldOps
 // backend dispatch).
 void ntt_inplace(std::vector<u64>& a, bool inverse,
                  const MontgomeryAvx2Field& f);
 void ntt_inplace(std::vector<u64>& a, bool inverse,
                  const MontgomeryAvx2Field& f, const NttTables& tables);
+void ntt_inplace(std::vector<u64>& a, bool inverse,
+                 const MontgomeryAvx512Field& f);
+void ntt_inplace(std::vector<u64>& a, bool inverse,
+                 const MontgomeryAvx512Field& f, const NttTables& tables);
 
 // Cyclic-free convolution (polynomial product) of two coefficient
 // vectors. Returns a.size()+b.size()-1 coefficients. The PrimeField
@@ -100,6 +141,8 @@ std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const MontgomeryField& f);
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const MontgomeryAvx2Field& f);
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryAvx512Field& f);
 
 // Domain-to-domain convolution through the twiddle tables. The result
 // must fit: a.size()+b.size()-1 <= tables.capacity().
@@ -108,6 +151,9 @@ std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const NttTables& tables);
 std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
                               const MontgomeryAvx2Field& f,
+                              const NttTables& tables);
+std::vector<u64> ntt_convolve(std::span<const u64> a, std::span<const u64> b,
+                              const MontgomeryAvx512Field& f,
                               const NttTables& tables);
 
 // Cyclic convolution mod x^n - 1 for power-of-two n (the transposed
@@ -127,11 +173,18 @@ std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
                                      const MontgomeryAvx2Field& f);
 std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
                                      std::span<const u64> b, std::size_t n,
+                                     const MontgomeryAvx512Field& f);
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
                                      const MontgomeryField& f,
                                      const NttTables& tables);
 std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
                                      std::span<const u64> b, std::size_t n,
                                      const MontgomeryAvx2Field& f,
+                                     const NttTables& tables);
+std::vector<u64> ntt_convolve_cyclic(std::span<const u64> a,
+                                     std::span<const u64> b, std::size_t n,
+                                     const MontgomeryAvx512Field& f,
                                      const NttTables& tables);
 
 // Scratch-returning linear convolutions for the interpolation ascent
@@ -143,6 +196,9 @@ ScratchVec ntt_convolve_scratch(std::span<const u64> a, std::span<const u64> b,
                                 const NttTables* tables = nullptr);
 ScratchVec ntt_convolve_scratch(std::span<const u64> a, std::span<const u64> b,
                                 const MontgomeryAvx2Field& f,
+                                const NttTables* tables = nullptr);
+ScratchVec ntt_convolve_scratch(std::span<const u64> a, std::span<const u64> b,
+                                const MontgomeryAvx512Field& f,
                                 const NttTables* tables = nullptr);
 
 // Scratch-returning cyclic convolutions for the middle-product/fast-
@@ -160,6 +216,10 @@ ScratchVec ntt_convolve_cyclic_scratch(std::span<const u64> a,
 ScratchVec ntt_convolve_cyclic_scratch(std::span<const u64> a,
                                        std::span<const u64> b, std::size_t n,
                                        const MontgomeryAvx2Field& f,
+                                       const NttTables* tables = nullptr);
+ScratchVec ntt_convolve_cyclic_scratch(std::span<const u64> a,
+                                       std::span<const u64> b, std::size_t n,
+                                       const MontgomeryAvx512Field& f,
                                        const NttTables* tables = nullptr);
 
 }  // namespace camelot

@@ -25,6 +25,7 @@
 #include "core/arena.hpp"
 #include "field/field.hpp"
 #include "field/montgomery.hpp"
+#include "field/montgomery_avx512.hpp"
 #include "field/montgomery_simd.hpp"
 #include "poly/ntt.hpp"
 
@@ -383,6 +384,7 @@ bool poly_equal(const Poly& a, const Poly& b);
 CAMELOT_POLY_EXTERN(PrimeField)
 CAMELOT_POLY_EXTERN(MontgomeryField)
 CAMELOT_POLY_EXTERN(MontgomeryAvx2Field)
+CAMELOT_POLY_EXTERN(MontgomeryAvx512Field)
 #undef CAMELOT_POLY_EXTERN
 
 }  // namespace camelot

@@ -98,7 +98,11 @@ GaoResult gao_decode_prepared(const ReedSolomonCode& code,
   const NttTables* tables = ops.ntt_tables().get();
   const std::size_t crossover = code.hgcd_crossover();
   XgcdStats stats;
-  if (backend == FieldBackend::kMontgomeryAvx2) {
+  if (backend == FieldBackend::kMontgomeryAvx512) {
+    ok = gao_core(tree.root_mont(), std::move(g1), e, d,
+                  MontgomeryAvx512Field(ops.mont()), &message, tables,
+                  crossover, &stats);
+  } else if (backend == FieldBackend::kMontgomeryAvx2) {
     ok = gao_core(tree.root_mont(), std::move(g1), e, d,
                   MontgomeryAvx2Field(ops.mont()), &message, tables,
                   crossover, &stats);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "field/backend_dispatch.hpp"
 #include "yates/yates.hpp"
 
 namespace camelot {
@@ -69,13 +70,12 @@ std::vector<u64> YatesPolynomialExtension::evaluate_mont_with_phi(
   // alpha_j(z0) for every outer digit pattern j in [s^{k-ell}]:
   // a Kronecker-power matrix-vector product with the *transposed*
   // base, computed by classical Yates (eq. (8)). The resolved backend
-  // decides whether the push loops run scalar or on AVX2 lanes.
-  const bool simd = ops_.simd();
-  std::vector<u64> alpha =
-      simd ? yates_apply(MontgomeryAvx2Field(m), base_transposed_mont_,
-                         s_dim_, t_dim_, phi, k_ - ell_)
-           : yates_apply(m, base_transposed_mont_, s_dim_, t_dim_, phi,
-                         k_ - ell_);
+  // decides whether the push loops run scalar or on SIMD lanes.
+  const FieldBackend backend = ops_.backend();
+  std::vector<u64> alpha = with_lane_field(backend, m, [&](const auto& lf) {
+    return yates_apply(lf, base_transposed_mont_, s_dim_, t_dim_, phi,
+                       k_ - ell_);
+  });
 
   // Scatter the sparse input, weighting entry j by alpha_{suffix(j)}.
   const u64 suffix_size = ipow(s_dim_, k_ - ell_);
@@ -89,9 +89,9 @@ std::vector<u64> YatesPolynomialExtension::evaluate_mont_with_phi(
     x_ell[j_prefix] = m.add(x_ell[j_prefix], m.mul(w, entry_values_mont_[n]));
   }
   // Dense Yates over the inner digits.
-  return simd ? yates_apply(MontgomeryAvx2Field(m), base_mont_, t_dim_,
-                            s_dim_, x_ell, ell_)
-              : yates_apply(m, base_mont_, t_dim_, s_dim_, x_ell, ell_);
+  return with_lane_field(backend, m, [&](const auto& lf) {
+    return yates_apply(lf, base_mont_, t_dim_, s_dim_, x_ell, ell_);
+  });
 }
 
 std::vector<u64> YatesPolynomialExtension::evaluate(u64 z0) const {

@@ -86,6 +86,13 @@ std::vector<u64> yates_apply(const MontgomeryAvx2Field& f,
   return yates_apply_impl(f, base, t_dim, s_dim, x, k);
 }
 
+std::vector<u64> yates_apply(const MontgomeryAvx512Field& f,
+                             std::span<const u64> base, std::size_t t_dim,
+                             std::size_t s_dim, std::span<const u64> x,
+                             unsigned k) {
+  return yates_apply_impl(f, base, t_dim, s_dim, x, k);
+}
+
 std::vector<u64> yates_apply_naive(const PrimeField& f,
                                    std::span<const u64> base,
                                    std::size_t t_dim, std::size_t s_dim,

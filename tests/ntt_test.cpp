@@ -127,6 +127,83 @@ TEST(NttTablesTest, RejectsModulusMismatch) {
   EXPECT_THROW(ntt_inplace(a, false, mg, tables), std::invalid_argument);
 }
 
+// RAII guard: every Shoup toggle test must leave the process-wide
+// switch the way it found it, or later tests would silently run the
+// wrong butterfly.
+class ShoupToggleGuard {
+ public:
+  ShoupToggleGuard() : saved_(ntt_shoup_enabled()) {}
+  ~ShoupToggleGuard() { set_ntt_shoup_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(NttShoup, TablesCarryQuotientTwins) {
+  PrimeField f(7681);
+  MontgomeryField m(f);
+  NttTables tables(m, 512);
+  EXPECT_TRUE(tables.has_shoup());
+  // q == 2 has no Montgomery form, hence no Shoup twins.
+  MontgomeryField m2{PrimeField(2)};
+  NttTables trivial(m2, 16);
+  EXPECT_FALSE(trivial.has_shoup());
+}
+
+TEST(NttShoup, ForcedShoupMatchesRedcAcrossPrimeWidths) {
+  // The Shoup quotient butterfly must reproduce the REDC butterfly
+  // words exactly — on a narrow prime (q < 2^31, the lane-dispatch
+  // regime) and on a wide one (q >= 2^32, where the quotient product
+  // replaces the second widening multiply). Both transform directions
+  // and convolution, across tail-heavy sizes.
+  ShoupToggleGuard guard;
+  std::mt19937_64 rng(0x540F);
+  for (u64 q : {u64{7681}, find_ntt_prime(1u << 29, 16),
+                find_ntt_prime(u64{1} << 40, 20),
+                find_ntt_prime(u64{1} << 61, 8)}) {
+    PrimeField f(q);
+    MontgomeryField m(f);
+    NttTables tables(m, 512);
+    for (std::size_t n : {1u, 2u, 16u, 128u, 512u}) {
+      std::vector<u64> a(n);
+      for (u64& v : a) v = m.to_mont(rng() % q);
+      for (bool inverse : {false, true}) {
+        std::vector<u64> redc = a, shoup = a;
+        set_ntt_shoup_enabled(false);
+        ntt_inplace(redc, inverse, m, tables);
+        set_ntt_shoup_enabled(true);
+        ntt_inplace(shoup, inverse, m, tables);
+        EXPECT_EQ(shoup, redc)
+            << "q=" << q << " n=" << n << " inverse=" << inverse;
+      }
+    }
+    std::vector<u64> a(100), b(57);
+    for (u64& v : a) v = m.to_mont(rng() % q);
+    for (u64& v : b) v = m.to_mont(rng() % q);
+    set_ntt_shoup_enabled(false);
+    const std::vector<u64> conv_redc = ntt_convolve(a, b, m, tables);
+    set_ntt_shoup_enabled(true);
+    EXPECT_EQ(ntt_convolve(a, b, m, tables), conv_redc) << "q=" << q;
+  }
+}
+
+TEST(NttShoup, UntabledTransformIgnoresToggle) {
+  // Without tables there are no precomputed quotients; the toggle
+  // must be a no-op rather than a behavior change.
+  ShoupToggleGuard guard;
+  PrimeField f(7681);
+  MontgomeryField m(f);
+  std::mt19937_64 rng(0x541F);
+  std::vector<u64> a(128);
+  for (u64& v : a) v = m.to_mont(rng() % f.modulus());
+  std::vector<u64> on = a, off = a;
+  set_ntt_shoup_enabled(true);
+  ntt_inplace(on, false, m);
+  set_ntt_shoup_enabled(false);
+  ntt_inplace(off, false, m);
+  EXPECT_EQ(on, off);
+}
+
 TEST(Ntt, LinearityProperty) {
   PrimeField f(7681);
   std::mt19937_64 rng(3);

@@ -113,12 +113,15 @@ TEST_P(GoldenEquivalence, BackendsAgreeBitForBit) {
   RunReport divi = ProofSession(*c.problem, cfg).run();
   ASSERT_TRUE(mont.success);
   expect_reports_equal(mont, divi);
-  // The AVX2 request resolves to the lane kernels where the process
-  // supports them and to scalar Montgomery otherwise; either way the
+  // The SIMD requests resolve to the lane kernels where the process
+  // supports them and step down the ladder otherwise; either way the
   // whole pipeline must land on the same words.
   cfg.backend = FieldBackend::kMontgomeryAvx2;
   RunReport avx2 = ProofSession(*c.problem, cfg).run();
   expect_reports_equal(mont, avx2);
+  cfg.backend = FieldBackend::kMontgomeryAvx512;
+  RunReport avx512 = ProofSession(*c.problem, cfg).run();
+  expect_reports_equal(mont, avx512);
 }
 
 INSTANTIATE_TEST_SUITE_P(Apps, GoldenEquivalence,

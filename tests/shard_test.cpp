@@ -137,6 +137,28 @@ TEST(ShardProtocol, ProblemFactoryParsesAndRejects) {
   EXPECT_THROW(make_problem_from_spec("hexagon:10:20:3"),
                std::invalid_argument);
   EXPECT_THROW(make_problem_from_spec("triangle:10"), std::invalid_argument);
+
+  auto clique = make_problem_from_spec("clique:10:20:6:3");
+  EXPECT_EQ(clique->name(), "count-k-cliques");
+  // 6 | k is Theorem 1's divisibility requirement.
+  EXPECT_THROW(make_problem_from_spec("clique:10:20:5:3"),
+               std::invalid_argument);
+  EXPECT_THROW(make_problem_from_spec("clique:10:20:0:3"),
+               std::invalid_argument);
+  EXPECT_THROW(make_problem_from_spec("clique:0:20:6:3"),
+               std::invalid_argument);
+  EXPECT_THROW(make_problem_from_spec("clique:10:20:6"),
+               std::invalid_argument);
+
+  auto ov = make_problem_from_spec("ov:8:5:0.5:11");
+  EXPECT_EQ(ov->name(), "orthogonal-vectors");
+  EXPECT_THROW(make_problem_from_spec("ov:0:5:0.5:11"),
+               std::invalid_argument);
+  EXPECT_THROW(make_problem_from_spec("ov:8:0:0.5:11"),
+               std::invalid_argument);
+  EXPECT_THROW(make_problem_from_spec("ov:8:5:1.5:11"),
+               std::invalid_argument);
+  EXPECT_THROW(make_problem_from_spec("ov:8:5:0.5"), std::invalid_argument);
 }
 
 // ---- Golden equality -----------------------------------------------------

@@ -13,6 +13,7 @@
 
 #include "field/field_cache.hpp"
 #include "field/field_ops.hpp"
+#include "field/montgomery_avx512.hpp"
 #include "field/montgomery_simd.hpp"
 #include "field/primes.hpp"
 #include "poly/lagrange.hpp"
@@ -46,10 +47,26 @@ TEST(SimdDispatch, ResolutionFollowsRuntimeSupport) {
   if (simd_runtime_enabled()) {
     EXPECT_EQ(ops.backend(), FieldBackend::kMontgomeryAvx2);
     EXPECT_TRUE(ops.simd());
-    EXPECT_EQ(best_backend(), FieldBackend::kMontgomeryAvx2);
   } else {
     EXPECT_EQ(ops.backend(), FieldBackend::kMontgomery);
     EXPECT_FALSE(ops.simd());
+  }
+  // An AVX-512 request steps down the ladder one rung at a time.
+  const FieldOps ops512(f, FieldBackend::kMontgomeryAvx512);
+  if (simd512_runtime_enabled()) {
+    EXPECT_EQ(ops512.backend(), FieldBackend::kMontgomeryAvx512);
+    EXPECT_TRUE(ops512.simd());
+  } else if (simd_runtime_enabled()) {
+    EXPECT_EQ(ops512.backend(), FieldBackend::kMontgomeryAvx2);
+  } else {
+    EXPECT_EQ(ops512.backend(), FieldBackend::kMontgomery);
+  }
+  // best_backend() names the top of the ladder the host can run.
+  if (simd512_runtime_enabled()) {
+    EXPECT_EQ(best_backend(), FieldBackend::kMontgomeryAvx512);
+  } else if (simd_runtime_enabled()) {
+    EXPECT_EQ(best_backend(), FieldBackend::kMontgomeryAvx2);
+  } else {
     EXPECT_EQ(best_backend(), FieldBackend::kMontgomery);
   }
   // Explicit scalar requests are never upgraded.
@@ -60,11 +77,16 @@ TEST(SimdDispatch, ResolutionFollowsRuntimeSupport) {
 }
 
 TEST(SimdDispatch, WidePrimeResolvesScalar) {
-  // q >= 2^31: 64-bit lanes cannot beat scalar mulx, so dispatch
-  // keeps wide primes on the scalar Montgomery pipeline.
+  // q >= 2^31: 4xu64 AVX2 lanes cannot beat scalar mulx, so dispatch
+  // keeps wide primes off the AVX2 pipeline. AVX-512 has a wide
+  // (vpmullq REDC-64) kernel set, so a 512 request keeps its lanes.
   const PrimeField f(find_ntt_prime(u64{1} << 40, 20));
   EXPECT_EQ(FieldOps(f, FieldBackend::kMontgomeryAvx2).backend(),
             FieldBackend::kMontgomery);
+  if (simd512_runtime_enabled()) {
+    EXPECT_EQ(FieldOps(f, FieldBackend::kMontgomeryAvx512).backend(),
+              FieldBackend::kMontgomeryAvx512);
+  }
 }
 
 TEST(SimdDispatch, TrivialModulusAlwaysResolvesScalar) {
@@ -72,6 +94,8 @@ TEST(SimdDispatch, TrivialModulusAlwaysResolvesScalar) {
   // implement the identity-domain mode, so dispatch must refuse it.
   const FieldOps ops(PrimeField(2), FieldBackend::kMontgomeryAvx2);
   EXPECT_EQ(ops.backend(), FieldBackend::kMontgomery);
+  EXPECT_EQ(FieldOps(PrimeField(2), FieldBackend::kMontgomeryAvx512).backend(),
+            FieldBackend::kMontgomery);
 }
 
 TEST(SimdBackend, ElementwiseKernelsMatchScalar) {
@@ -296,6 +320,208 @@ TEST(SimdBackend, YatesAndLagrangeMatchScalarBackend) {
       EXPECT_EQ(lv.basis(x0), ls.basis(x0));
       EXPECT_EQ(lv.eval(values, x0), ls.eval(values, x0));
     }
+  }
+}
+
+TEST(Avx512Backend, ElementwiseKernelsMatchScalar) {
+  if (!simd512_runtime_enabled()) {
+    GTEST_SKIP() << "AVX-512 unavailable or forced off";
+  }
+  std::mt19937_64 rng(0x512A);
+  for (u64 q : test_primes()) {
+    const MontgomeryField m{PrimeField(q)};
+    // Both dispatch flavors: the IFMA REDC-52 kernels where the host
+    // and prime allow them, and the generic F/DQ kernels always.
+    for (bool allow_ifma : {true, false}) {
+      const MontgomeryAvx512Field fs(m, allow_ifma);
+      // Lengths around the 8-lane width exercise every tail shape.
+      for (std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{7},
+                            std::size_t{8}, std::size_t{9}, std::size_t{15},
+                            std::size_t{16}, std::size_t{100},
+                            std::size_t{1001}}) {
+        const std::vector<u64> a = random_domain_values(m, n, rng);
+        const std::vector<u64> b = random_domain_values(m, n, rng);
+        const u64 s = m.to_mont(rng() % q);
+
+        std::vector<u64> got(n), want(n);
+        fs.mul_vec(a.data(), b.data(), got.data(), n);
+        for (std::size_t i = 0; i < n; ++i) want[i] = m.mul(a[i], b[i]);
+        EXPECT_EQ(got, want) << "mul_vec q=" << q << " n=" << n
+                             << " ifma=" << fs.ifma();
+
+        fs.scale_vec(a.data(), s, got.data(), n);
+        for (std::size_t i = 0; i < n; ++i) want[i] = m.mul(a[i], s);
+        EXPECT_EQ(got, want) << "scale_vec q=" << q << " n=" << n;
+
+        got = a;
+        want = a;
+        fs.addmul_inplace(got.data(), s, b.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          want[i] = m.add(want[i], m.mul(s, b[i]));
+        }
+        EXPECT_EQ(got, want) << "addmul q=" << q << " n=" << n;
+
+        got = a;
+        want = a;
+        fs.submul_inplace(got.data(), s, b.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          want[i] = m.sub(want[i], m.mul(s, b[i]));
+        }
+        EXPECT_EQ(got, want) << "submul q=" << q << " n=" << n;
+
+        got = a;
+        want = a;
+        fs.add_inplace(got.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i) want[i] = m.add(want[i], b[i]);
+        EXPECT_EQ(got, want) << "add_inplace q=" << q << " n=" << n;
+
+        fs.sub_from_scalar(s, a.data(), got.data(), n);
+        for (std::size_t i = 0; i < n; ++i) want[i] = m.sub(s, a[i]);
+        EXPECT_EQ(got, want) << "sub_from_scalar q=" << q << " n=" << n;
+
+        u64 acc = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          acc = m.add(acc, m.mul(a[i], b[i]));
+        }
+        EXPECT_EQ(fs.dot(a.data(), b.data(), n), acc)
+            << "dot q=" << q << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Avx512Backend, NttMatchesScalarTabledAndUntabled) {
+  if (!simd512_runtime_enabled()) {
+    GTEST_SKIP() << "AVX-512 unavailable or forced off";
+  }
+  std::mt19937_64 rng(0x512B);
+  for (u64 q :
+       {find_ntt_prime(1u << 12, 14), find_ntt_prime(u64{1} << 40, 20)}) {
+    const MontgomeryField m{PrimeField(q)};
+    const MontgomeryAvx512Field fs(m);
+    const NttTables tables(m, 1u << 12);
+    for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                          std::size_t{16}, std::size_t{64},
+                          std::size_t{4096}}) {
+      for (bool inverse : {false, true}) {
+        const std::vector<u64> base = random_domain_values(m, n, rng);
+        std::vector<u64> scalar = base, simd = base;
+        ntt_inplace(scalar, inverse, m);
+        ntt_inplace(simd, inverse, fs);
+        EXPECT_EQ(simd, scalar)
+            << "untabled q=" << q << " n=" << n << " inv=" << inverse;
+        scalar = base;
+        simd = base;
+        ntt_inplace(scalar, inverse, m, tables);
+        ntt_inplace(simd, inverse, fs, tables);
+        EXPECT_EQ(simd, scalar)
+            << "tabled q=" << q << " n=" << n << " inv=" << inverse;
+      }
+    }
+    for (auto [na, nb] : {std::pair<std::size_t, std::size_t>{1, 1},
+                          {5, 3},
+                          {513, 511},
+                          {1000, 37}}) {
+      const std::vector<u64> a = random_domain_values(m, na, rng);
+      const std::vector<u64> b = random_domain_values(m, nb, rng);
+      EXPECT_EQ(ntt_convolve(a, b, fs), ntt_convolve(a, b, m));
+      EXPECT_EQ(ntt_convolve(a, b, fs, tables), ntt_convolve(a, b, m, tables));
+    }
+  }
+}
+
+TEST(Avx512Backend, FourWayBackendBitIdentity) {
+  // The full ladder — division, scalar Montgomery, AVX2, AVX-512 —
+  // must produce identical encode/decode words through the RS
+  // pipeline; rungs the host cannot run resolve downward and the
+  // equality stays meaningful (it degenerates gracefully rather than
+  // skipping outright).
+  std::mt19937_64 rng(0x512C);
+  FieldCache cache;
+  const u64 q = find_ntt_prime(1u << 12, 12);
+  const std::size_t d = 40, e = 101;
+  const FieldBackend backends[] = {
+      FieldBackend::kPrimeDivision, FieldBackend::kMontgomery,
+      FieldBackend::kMontgomeryAvx2, FieldBackend::kMontgomeryAvx512};
+  Poly msg;
+  msg.c.resize(d + 1);
+  for (u64& v : msg.c) v = rng() % q;
+  std::vector<u64> ref_word;
+  for (const FieldBackend b : backends) {
+    const FieldOps ops = cache.ops(q, 2 * e, b);
+    const ReedSolomonCode code(ops, d, e);
+    std::vector<u64> word = code.encode(msg);
+    if (ref_word.empty()) {
+      ref_word = word;
+    } else {
+      EXPECT_EQ(word, ref_word) << "backend=" << static_cast<int>(b);
+    }
+    for (std::size_t t = 0; t < code.decoding_radius(); ++t) {
+      word[(t * 7919) % e] = rng() % q;
+    }
+    const GaoResult r = gao_decode(code, word);
+    EXPECT_EQ(r.status, DecodeStatus::kOk)
+        << "backend=" << static_cast<int>(b);
+    EXPECT_TRUE(poly_equal(r.message, msg))
+        << "backend=" << static_cast<int>(b);
+  }
+}
+
+TEST(Avx512Backend, PipelineSeamsMatchAvx2AndScalar) {
+  if (!simd512_runtime_enabled()) {
+    GTEST_SKIP() << "AVX-512 unavailable or forced off";
+  }
+  std::mt19937_64 rng(0x512D);
+  FieldCache cache;
+  const u64 q = find_ntt_prime(1u << 14, 14);
+  const PrimeField f(q);
+  const MontgomeryField m(f);
+  const MontgomeryAvx512Field fs(m);
+  // Poly kernels through the instantiated AVX-512 backend.
+  for (auto [na, nb] : {std::pair<std::size_t, std::size_t>{7, 5},
+                        {40, 33},
+                        {200, 100}}) {
+    const Poly a{random_domain_values(m, na, rng)};
+    Poly b{random_domain_values(m, nb, rng)};
+    b.c.back() = m.one();
+    EXPECT_TRUE(poly_equal(poly_mul(a, b, fs), poly_mul(a, b, m)));
+    Poly qs, rs, qv, rv;
+    poly_divrem(a, b, m, &qs, &rs);
+    poly_divrem(a, b, fs, &qv, &rv);
+    EXPECT_TRUE(poly_equal(qv, qs));
+    EXPECT_TRUE(poly_equal(rv, rs));
+  }
+  // Multipoint tree built from kMontgomeryAvx512 ops.
+  const std::size_t n = 1000;
+  const FieldOps scalar_ops = cache.ops(q, 2 * n, FieldBackend::kMontgomery);
+  const FieldOps simd_ops =
+      cache.ops(q, 2 * n, FieldBackend::kMontgomeryAvx512);
+  std::vector<u64> pts(n);
+  for (std::size_t i = 0; i < n; ++i) pts[i] = i + 1;
+  const SubproductTree ts(pts, scalar_ops);
+  const SubproductTree tv(pts, simd_ops);
+  EXPECT_TRUE(poly_equal(tv.root_mont(), ts.root_mont()));
+  Poly p;
+  p.c.resize(n);
+  for (u64& v : p.c) v = rng() % q;
+  EXPECT_EQ(tv.evaluate(p, f), ts.evaluate(p, f));
+  std::vector<u64> ys(n);
+  for (u64& v : ys) v = rng() % q;
+  EXPECT_TRUE(poly_equal(tv.interpolate(ys, f), ts.interpolate(ys, f)));
+  // Yates and Lagrange through the same seams the evaluators use.
+  std::vector<u64> base = random_domain_values(m, 6, rng);
+  base[1] = m.one();
+  base[3] = 0;
+  std::vector<u64> x = random_domain_values(m, std::size_t{1} << 5, rng);
+  EXPECT_EQ(yates_apply(fs, base, 3, 2, x, 5),
+            yates_apply(m, base, 3, 2, x, 5));
+  const ConsecutiveLagrange ls(1, 49, scalar_ops);
+  const ConsecutiveLagrange lv(1, 49, simd_ops);
+  std::vector<u64> values(49);
+  for (u64& v : values) v = rng() % q;
+  for (u64 x0 : {rng() % q, u64{1}, u64{49}}) {
+    EXPECT_EQ(lv.basis_mont(x0), ls.basis_mont(x0));
+    EXPECT_EQ(lv.eval(values, x0), ls.eval(values, x0));
   }
 }
 
